@@ -1,0 +1,43 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one paper table/figure: it times the experiment
+with pytest-benchmark and writes the rendered rows/series (the same ones the
+paper reports) to ``benchmarks/output/<id>.txt`` as well as echoing them to
+stdout (visible with ``pytest -s`` or in the captured output section).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record_result(output_dir):
+    """Write a rendered table/figure to the output directory and stdout.
+
+    When a :class:`~repro.metrics.reporting.Figure` is passed alongside the
+    text, a gnuplot-ready ``.dat`` file is written too.
+    """
+
+    def _record(experiment_id: str, text: str, figure=None) -> None:
+        path = output_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        if figure is not None:
+            from repro.metrics.dataexport import figure_to_dat
+
+            (output_dir / f"{experiment_id}.dat").write_text(
+                figure_to_dat(figure)
+            )
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,60 @@
+"""Ablation bench: what each removal category buys (DESIGN.md §6).
+
+Starting from microVM, remove one Figure 4 category at a time and measure
+image size and boot time -- quantifying which class of options pays for the
+unikernel-like properties.
+"""
+
+from repro.boot.bootsim import BootSimulator
+from repro.core.classification import classify_microvm_options
+from repro.kbuild.builder import KernelBuilder
+from repro.kconfig.database import build_linux_tree, microvm_option_names
+from repro.kconfig.resolver import Resolver
+from repro.metrics.reporting import Table, render_table
+from repro.vmm.monitor import firecracker
+
+
+def _ablate():
+    tree = build_linux_tree()
+    classification = classify_microvm_options()
+    simulator = BootSimulator(monitor_setup_ms=firecracker().setup_ms)
+    builder = KernelBuilder()
+    rows = {}
+
+    def measure(label, names):
+        config = Resolver(tree).resolve_names(names, name=label)
+        image = builder.build(config)
+        boot = simulator.boot(image)
+        rows[label] = (len(config.enabled), image.size_mb, boot.total_ms)
+
+    microvm_names = microvm_option_names()
+    measure("microvm (full)", microvm_names)
+    for category in ("app", "mp", "hw"):
+        removed = classification.removed_by_category[category]
+        measure(
+            f"microvm - {category}",
+            [n for n in microvm_names if n not in removed],
+        )
+    measure("lupine-base", sorted(classification.lupine_base))
+    return rows
+
+
+def test_ablation_categories(benchmark, record_result):
+    rows = benchmark(_ablate)
+    table = Table(
+        title="Ablation: removing one Figure 4 category at a time",
+        headers=["configuration", "options", "image MB", "boot ms"],
+    )
+    for label, (options, size_mb, boot_ms) in rows.items():
+        table.add_row(label, options, size_mb, boot_ms)
+    record_result("ablation_categories", render_table(table))
+
+    full = rows["microvm (full)"]
+    base = rows["lupine-base"]
+    assert base[1] < full[1] and base[2] < full[2]
+    # Hardware management buys the most boot time; app-specific the most size.
+    hw = rows["microvm - hw"]
+    app = rows["microvm - app"]
+    mp = rows["microvm - mp"]
+    assert full[2] - hw[2] > full[2] - mp[2]
+    assert full[1] - app[1] > full[1] - mp[1]

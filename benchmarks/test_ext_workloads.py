@@ -1,0 +1,54 @@
+"""Extension bench: memcached and pgbench on Lupine vs microVM.
+
+Not paper tables -- extension workloads exercising the same machinery
+(memcached: EVENTFD/EPOLL event loop; pgbench: the multi-process SysV-IPC
+path the unikernel domain excludes).
+"""
+
+from repro.apps.registry import get_app
+from repro.core.variants import Variant, build_microvm, build_variant
+from repro.metrics.reporting import Table, render_table
+from repro.workloads.memcached import MemtierBenchmark
+from repro.workloads.pgbench import PgBench
+from repro.workloads.server import LinuxServerStack
+
+
+def _stack(build):
+    return LinuxServerStack(
+        engine=build.syscall_engine(), netpath=build.network_path()
+    )
+
+
+def _run():
+    microvm = build_microvm()
+    memcached = build_variant(Variant.LUPINE, get_app("memcached"))
+    postgres = build_variant(Variant.LUPINE, get_app("postgres"))
+    memtier = MemtierBenchmark(1000)
+    pgbench = PgBench(transactions=300)
+    return {
+        "memcached-get": (
+            memtier.get_rps(_stack(memcached)),
+            memtier.get_rps(_stack(microvm)),
+        ),
+        "memcached-set": (
+            memtier.set_rps(_stack(memcached)),
+            memtier.set_rps(_stack(microvm)),
+        ),
+        "pgbench-tpcb": (
+            pgbench.tps(_stack(postgres)),
+            pgbench.tps(_stack(microvm)),
+        ),
+    }
+
+
+def test_ext_workloads(benchmark, record_result):
+    results = benchmark(_run)
+    table = Table(
+        title="Extension: memcached & pgbench, Lupine vs microVM",
+        headers=["workload", "lupine req/s", "microvm req/s", "speedup"],
+    )
+    for name, (lupine, microvm) in results.items():
+        table.add_row(name, lupine, microvm, lupine / microvm)
+    record_result("ext_workloads", render_table(table))
+    for name, (lupine, microvm) in results.items():
+        assert lupine > microvm, name

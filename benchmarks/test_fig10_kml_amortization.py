@@ -1,0 +1,13 @@
+"""Figure 10 bench: KML improvement vs busy-wait iterations."""
+
+from repro.experiments import fig10_kml
+from repro.metrics.reporting import render_figure
+
+
+def test_fig10_kml_amortization(benchmark, record_result):
+    points = benchmark(fig10_kml.run)
+    figure = fig10_kml.figure()
+    record_result("fig10", render_figure(figure), figure=figure)
+    as_dict = dict(points)
+    assert 0.35 <= as_dict[0] <= 0.45
+    assert as_dict[160] < 0.05

@@ -1,0 +1,11 @@
+"""Figure 12 bench: perf messaging with threads vs processes."""
+
+from repro.experiments import fig12_ctxsw
+from repro.metrics.reporting import render_figure
+
+
+def test_fig12_context_switch(benchmark, record_result):
+    benchmark(fig12_ctxsw.run)
+    figure = fig12_ctxsw.figure()
+    record_result("fig12", render_figure(figure), figure=figure)
+    assert fig12_ctxsw.max_process_penalty() <= 0.03

@@ -1,0 +1,11 @@
+"""Figure 4 bench: breakdown of removed microVM options by category."""
+
+from repro.experiments import fig4_breakdown
+from repro.metrics.reporting import render_table
+
+
+def test_fig4_option_breakdown(benchmark, record_result):
+    results = benchmark(fig4_breakdown.run)
+    record_result("fig4", render_table(fig4_breakdown.table()))
+    assert (results["app"], results["mp"], results["hw"]) == (311, 89, 150)
+    assert results["lupine-base"] == 283

@@ -1,0 +1,11 @@
+"""Figure 5 bench: growth of the option union across apps."""
+
+from repro.experiments import fig5_growth
+from repro.metrics.reporting import render_figure
+
+
+def test_fig5_option_growth(benchmark, record_result):
+    growth = benchmark(fig5_growth.run)
+    figure = fig5_growth.figure()
+    record_result("fig5", render_figure(figure), figure=figure)
+    assert growth[0] == 13 and growth[-1] == 19

@@ -1,0 +1,12 @@
+"""Figure 7 bench: boot time for hello world across systems."""
+
+from repro.experiments import fig7_boot_time
+from repro.metrics.reporting import render_figure
+
+
+def test_fig7_boot_time(benchmark, record_result):
+    results = benchmark(fig7_boot_time.run)
+    figure = fig7_boot_time.figure()
+    record_result("fig7", render_figure(figure), figure=figure)
+    assert results["lupine-nokml"] < 0.5 * results["microvm"]
+    assert results["osv-zfs"] > 3 * results["osv-rofs"]

@@ -1,0 +1,14 @@
+"""Figure 8 bench: memory footprint (hello/nginx/redis) across systems."""
+
+from repro.experiments import fig8_memory
+from repro.metrics.reporting import render_figure
+
+
+def test_fig8_memory_footprint(benchmark, record_result):
+    results = benchmark(fig8_memory.run)
+    figure = fig8_memory.figure()
+    record_result("fig8", render_figure(figure), figure=figure)
+    assert results["lupine"]["hello-world"] < results["microvm"]["hello-world"]
+    assert results["hermitux"]["nginx"] is None
+    for system in ("hermitux", "osv", "rump"):
+        assert results[system]["redis"] > results["lupine"]["redis"]

@@ -1,0 +1,12 @@
+"""Section 5 bench: SMP overhead on a single processor."""
+
+from repro.experiments import sec5_smp
+from repro.metrics.reporting import render_table
+
+
+def test_sec5_smp_overhead(benchmark, record_result):
+    results = benchmark(sec5_smp.run)
+    record_result("sec5", render_table(sec5_smp.table()))
+    assert all(o <= 0.03 for _, o in results["sem_posix"])
+    assert all(o <= 0.08 for _, o in results["futex"])
+    assert all(o <= 0.03 for _, o in results["make-j"])

@@ -1,0 +1,11 @@
+"""Table 3 bench: per-app options atop lupine-base for the top-20 apps."""
+
+from repro.experiments import table3_top20
+from repro.metrics.reporting import render_table
+
+
+def test_table3_top20_apps(benchmark, record_result):
+    counts = benchmark(table3_top20.run)
+    record_result("table3", render_table(table3_top20.table()))
+    assert counts["nginx"] == 13 and counts["elasticsearch"] == 12
+    assert len(counts) == 20

@@ -1,0 +1,13 @@
+"""Table 4 bench: redis/nginx throughput normalized to microVM."""
+
+from repro.experiments import table4_apps
+from repro.metrics.reporting import render_table
+
+
+def test_table4_app_performance(benchmark, record_result):
+    results = benchmark(table4_apps.run)
+    record_result("table4", render_table(table4_apps.table()))
+    lupine = results["lupine"]
+    assert all(lupine[column] > 1.1 for column in table4_apps.COLUMNS)
+    assert results["hermitux"]["nginx-conn"] is None
+    assert results["rump"]["nginx-conn"] > 1.0 > results["rump"]["nginx-sess"]

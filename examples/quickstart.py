@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Lupine unikernel for redis and measure it.
+
+Walks the whole Figure 2 pipeline through the public API:
+
+1. pull the redis container image and generate its manifest,
+2. specialize a Linux 4.0 kernel (lupine-base + redis's 10 options) and
+   apply KML,
+3. build the ext2 rootfs with a generated startup script,
+4. boot on Firecracker and check the success criterion,
+5. measure image size, boot time, memory footprint and redis-benchmark
+   throughput against the microVM baseline.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.apps.registry import get_app
+from repro.core.lupine import LupineBuilder
+from repro.core.variants import Variant, build_microvm
+from repro.workloads.redis import RedisBenchmark
+from repro.workloads.server import LinuxServerStack
+
+
+def main() -> None:
+    redis = get_app("redis")
+    print(f"== application: {redis.name} ({redis.description}) ==")
+    print(f"   requires {redis.option_count} options atop lupine-base: "
+          f"{', '.join(sorted(redis.required_options))}")
+
+    # 1-3. Build the unikernel (container -> manifest -> kernel + rootfs).
+    builder = LupineBuilder(variant=Variant.LUPINE)
+    unikernel = builder.build_for_app(redis)
+    print("\n== build ==")
+    print(f"   kernel : {unikernel.kernel_image_mb:.2f} MB "
+          f"({len(unikernel.build.config.enabled)} options, KML on)")
+    print(f"   rootfs : {unikernel.rootfs_size_mb:.2f} MB ext2, "
+          f"{unikernel.rootfs.inode_count} inodes")
+    print("   startup script:")
+    for line in unikernel.init_script.splitlines():
+        print(f"     {line}")
+
+    # 4. Boot it.
+    guest = unikernel.boot()
+    print("\n== boot ==")
+    print("   " + guest.boot_report.breakdown().replace("\n", "\n   "))
+    print(f"   success criterion met: {guest.ran_successfully}")
+
+    # 5. Measure.
+    print("\n== measurements ==")
+    print(f"   memory footprint: {unikernel.min_memory_mb()} MB")
+
+    microvm = build_microvm()
+    benchmark = RedisBenchmark()
+    lupine_stack = LinuxServerStack(
+        engine=unikernel.build.syscall_engine(),
+        netpath=unikernel.build.network_path(),
+    )
+    microvm_stack = LinuxServerStack(
+        engine=microvm.syscall_engine(), netpath=microvm.network_path()
+    )
+    lupine_get = benchmark.get_rps(lupine_stack)
+    microvm_get = benchmark.get_rps(microvm_stack)
+    print(f"   redis GET: lupine {lupine_get:,.0f} req/s vs "
+          f"microVM {microvm_get:,.0f} req/s "
+          f"({lupine_get / microvm_get:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

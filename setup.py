@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs where PEP 660 is unavailable
+(offline environments without the `wheel` package)."""
+
+from setuptools import setup
+
+setup()

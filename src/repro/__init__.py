@@ -1,0 +1,32 @@
+"""Reproduction of *A Linux in Unikernel Clothing* (Lupine Linux, EuroSys 2020).
+
+This package reimplements, as deterministic Python simulations, every system
+the paper builds or depends on:
+
+- ``repro.kconfig``   -- the Linux Kconfig configuration system and a model of
+  the Linux 4.0 option database.
+- ``repro.kbuild``    -- the kernel build pipeline (per-option object sizes,
+  -O2/-Os, link, compression) producing kernel image artifacts.
+- ``repro.syscall``   -- the system-call subsystem: syscall table with config
+  gating, CPU privilege-transition cost model, KPTI, KML entry, lmbench.
+- ``repro.sched``     -- processes, threads, fork, context switches, SMP.
+- ``repro.mm``        -- address spaces, demand paging, memory footprint.
+- ``repro.boot``      -- phase-based kernel boot simulation.
+- ``repro.vmm``       -- virtual machine monitors (Firecracker, QEMU,
+  solo5-hvt, uhyve).
+- ``repro.kml``       -- the Kernel Mode Linux patch and patched musl libc.
+- ``repro.rootfs``    -- container images, ext2 root filesystems, init scripts.
+- ``repro.unikernels``-- comparator unikernels: OSv, HermiTux, Rumprun.
+- ``repro.apps``      -- the top-20 Docker Hub application models (Table 3).
+- ``repro.workloads`` -- benchmark clients (redis-benchmark, ab, perf
+  messaging, SMP stress suites).
+- ``repro.core``      -- the paper's contribution: Lupine specialization,
+  variants, and the unikernel build pipeline.
+
+See DESIGN.md for the full inventory and the per-experiment index, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Application models: the top-20 Docker Hub applications of Table 3.
+
+Each application carries the knowledge the paper's manual derivation process
+produced: which configuration options it needs beyond ``lupine-base``, which
+system calls it issues, its process model (single- vs multi-process), and a
+success criterion used to judge a boot (Section 4.1).
+"""
+
+from repro.apps.app import Application, ProcessModel, SuccessCriterion
+from repro.apps.registry import (
+    TOP20_APPS,
+    get_app,
+    lupine_general_option_union,
+    top20_in_popularity_order,
+)
+
+__all__ = [
+    "Application",
+    "ProcessModel",
+    "SuccessCriterion",
+    "TOP20_APPS",
+    "get_app",
+    "lupine_general_option_union",
+    "top20_in_popularity_order",
+]

@@ -1,0 +1,78 @@
+"""The application model.
+
+An :class:`Application` is everything the Lupine pipeline needs to know about
+a workload: the container image it ships in, the kernel options it requires
+beyond ``lupine-base``, the syscalls it issues (used by the manifest
+generator and by the unikernel compatibility checks), its process model, and
+how to tell a successful boot from a failed one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+
+class ProcessModel(enum.Enum):
+    """How many processes/threads the application uses at runtime."""
+
+    SINGLE_PROCESS = "single-process"
+    MULTI_THREADED = "multi-threaded"
+    MULTI_PROCESS = "multi-process"
+
+    @property
+    def fits_unikernel(self) -> bool:
+        """True if the app satisfies the single-process unikernel restriction."""
+        return self is not ProcessModel.MULTI_PROCESS
+
+
+class SuccessCriterion(enum.Enum):
+    """How the paper judged each application as 'running' (Section 4.1)."""
+
+    CONSOLE_OUTPUT = "console-output"
+    QUERY_RESPONSE = "query-response"
+    HEALTH_CHECK = "health-check"
+    LOG_READY = "log-ready"
+    COMPILE_HELLO_WORLD = "compile-hello-world"
+
+
+@dataclass(frozen=True)
+class Application:
+    """A cloud application as characterized for the Lupine evaluation.
+
+    ``required_options`` are the Kconfig options the app needs *on top of*
+    lupine-base (Table 3's rightmost column is ``len(required_options)``).
+    ``syscalls`` is the set the app issues at runtime; the manifest generator
+    derives option requirements from it.  ``binary_size_kb`` and
+    ``resident_kb`` drive the memory-footprint simulation; resident pages are
+    a subset of the binary because Linux loads binaries lazily (Section 4.4).
+    """
+
+    name: str
+    description: str
+    downloads_billions: float
+    required_options: FrozenSet[str]
+    syscalls: FrozenSet[str]
+    facilities: FrozenSet[str] = frozenset()
+    process_model: ProcessModel = ProcessModel.SINGLE_PROCESS
+    success_criterion: SuccessCriterion = SuccessCriterion.QUERY_RESPONSE
+    binary_size_kb: int = 2048
+    resident_kb: int = 800
+    uses_fork_at_startup: bool = False
+    env: Tuple[Tuple[str, str], ...] = ()
+    entrypoint: Tuple[str, ...] = ()
+    needs_network: bool = True
+    needs_procfs: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.entrypoint:
+            object.__setattr__(self, "entrypoint", (f"/usr/bin/{self.name}",))
+
+    @property
+    def option_count(self) -> int:
+        """Table 3's '# options atop lupine-base' figure for this app."""
+        return len(self.required_options)
+
+    def requires(self, option_name: str) -> bool:
+        return option_name in self.required_options

@@ -1,0 +1,318 @@
+"""The top-20 Docker Hub applications (paper Table 3).
+
+Download counts (billions) and descriptions are the paper's.  Each app's
+``required_options`` is its hand-derived configuration atop ``lupine-base``
+(Section 4.1); the per-app counts match Table 3 exactly and their union is
+the 19 options of ``lupine-general``.
+
+Application syscall sets are constructed from the option-to-syscall mapping
+so that the manifest generator's derivation (syscalls + facilities ->
+options) round-trips to exactly the hand-derived configuration -- the same
+consistency the paper observed between error-message-driven derivation and
+benchmark success.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.apps.app import Application, ProcessModel, SuccessCriterion
+from repro.syscall.table import OPTION_SYSCALLS
+
+#: Syscalls virtually every Linux binary issues (via libc startup).
+COMMON_SYSCALLS: FrozenSet[str] = frozenset(
+    {
+        "read", "write", "open", "openat", "close", "fstat", "stat", "lseek",
+        "mmap", "munmap", "mprotect", "brk", "rt_sigaction", "rt_sigprocmask",
+        "ioctl", "access", "execve", "exit_group", "arch_prctl", "getpid",
+        "getppid", "getuid", "geteuid", "getgid", "getegid", "uname",
+        "getcwd", "dup2", "fcntl", "clock_gettime", "gettimeofday",
+        "nanosleep", "set_tid_address", "prlimit64", "getrandom", "readv",
+        "writev", "pipe2", "getdents64", "sigaltstack",
+    }
+)
+
+#: Extra syscalls for network servers (sockets are not option-gated; the
+#: protocol families behind them are).
+SERVER_SYSCALLS: FrozenSet[str] = frozenset(
+    {
+        "socket", "bind", "listen", "accept", "accept4", "connect",
+        "setsockopt", "getsockopt", "sendto", "recvfrom", "sendmsg",
+        "recvmsg", "shutdown", "getsockname", "getpeername", "poll", "select",
+    }
+)
+
+#: Options whose requirement is expressed as a runtime facility rather than
+#: a syscall (socket families, mounts, kernel crypto).
+OPTION_FACILITIES: Dict[str, str] = {
+    "UNIX": "socket:unix",
+    "INET": "socket:inet",
+    "PACKET": "socket:packet",
+    "PROC_FS": "mount:proc",
+    "TMPFS": "mount:tmpfs",
+    "CRYPTO_AES": "crypto:aes",
+}
+
+_FACILITY_OPTION = {facility: option for option, facility in
+                    OPTION_FACILITIES.items()}
+
+
+def option_for_facility(facility: str) -> str:
+    """The Kconfig option providing a runtime facility."""
+    return _FACILITY_OPTION[facility]
+
+
+def _derive_syscalls_and_facilities(
+    options: Tuple[str, ...], server: bool, multi_process: bool
+) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    syscalls = set(COMMON_SYSCALLS)
+    if server:
+        syscalls |= SERVER_SYSCALLS
+    if multi_process:
+        syscalls |= {"fork", "clone", "wait4", "kill", "setsid"}
+    facilities = set()
+    for option in options:
+        if option in OPTION_FACILITIES:
+            facilities.add(OPTION_FACILITIES[option])
+        else:
+            gated = OPTION_SYSCALLS.get(option)
+            if not gated:
+                raise ValueError(
+                    f"app option {option} is neither syscall-gated nor a "
+                    "facility; the manifest could never derive it"
+                )
+            syscalls.update(gated)
+    return frozenset(syscalls), frozenset(facilities)
+
+
+def _app(
+    name: str,
+    downloads: float,
+    description: str,
+    options: Tuple[str, ...],
+    process_model: ProcessModel = ProcessModel.SINGLE_PROCESS,
+    success: SuccessCriterion = SuccessCriterion.QUERY_RESPONSE,
+    binary_kb: int = 2048,
+    resident_kb: int = 800,
+    server: bool = True,
+    fork_at_startup: bool = False,
+    entrypoint: Tuple[str, ...] = (),
+) -> Application:
+    syscalls, facilities = _derive_syscalls_and_facilities(
+        options, server, process_model is ProcessModel.MULTI_PROCESS
+    )
+    return Application(
+        name=name,
+        description=description,
+        downloads_billions=downloads,
+        required_options=frozenset(options),
+        syscalls=syscalls,
+        facilities=facilities,
+        process_model=process_model,
+        success_criterion=success,
+        binary_size_kb=binary_kb,
+        resident_kb=resident_kb,
+        uses_fork_at_startup=fork_at_startup,
+        needs_network=server,
+        needs_procfs="PROC_FS" in options,
+        entrypoint=entrypoint,
+    )
+
+
+#: Table 3, in popularity order (billions of downloads).
+TOP20_APPS: Tuple[Application, ...] = (
+    _app(
+        "nginx", 1.7, "Web server",
+        ("FUTEX", "EPOLL", "EVENTFD", "AIO", "UNIX", "INET", "PACKET",
+         "TIMERFD", "SIGNALFD", "INOTIFY_USER", "FILE_LOCKING",
+         "ADVISE_SYSCALLS", "PROC_FS"),
+        binary_kb=1340, resident_kb=900,
+        entrypoint=("/usr/sbin/nginx", "-g", "daemon off;"),
+    ),
+    _app(
+        "postgres", 1.6, "Database",
+        ("FUTEX", "EPOLL", "UNIX", "INET", "PROC_FS", "FILE_LOCKING",
+         "ADVISE_SYSCALLS", "SYSVIPC", "POSIX_MQUEUE", "TMPFS"),
+        process_model=ProcessModel.MULTI_PROCESS,
+        binary_kb=7800, resident_kb=4200, fork_at_startup=True,
+        entrypoint=("/usr/bin/postgres", "-D", "/var/lib/postgresql/data"),
+    ),
+    _app(
+        "httpd", 1.4, "Web server",
+        ("FUTEX", "EPOLL", "EVENTFD", "AIO", "UNIX", "INET", "PACKET",
+         "TIMERFD", "SIGNALFD", "FILE_LOCKING", "ADVISE_SYSCALLS",
+         "PROC_FS", "TMPFS"),
+        binary_kb=2200, resident_kb=1400,
+        entrypoint=("/usr/sbin/httpd", "-DFOREGROUND"),
+    ),
+    _app(
+        "node", 1.2, "Language runtime",
+        ("FUTEX", "EPOLL", "UNIX", "INET", "PROC_FS"),
+        success=SuccessCriterion.CONSOLE_OUTPUT,
+        binary_kb=38000, resident_kb=9500,
+        entrypoint=("/usr/bin/node", "/app/hello.js"),
+    ),
+    _app(
+        "redis", 1.2, "Key-value store",
+        ("FUTEX", "EPOLL", "UNIX", "INET", "PACKET", "TIMERFD",
+         "FILE_LOCKING", "ADVISE_SYSCALLS", "PROC_FS", "TMPFS"),
+        binary_kb=2100, resident_kb=1600,
+        entrypoint=("/usr/bin/redis-server", "--protected-mode", "no"),
+    ),
+    _app(
+        "mongo", 1.2, "NOSQL database",
+        ("FUTEX", "EPOLL", "EVENTFD", "UNIX", "INET", "PROC_FS",
+         "FILE_LOCKING", "ADVISE_SYSCALLS", "TMPFS", "SIGNALFD",
+         "MEMBARRIER"),
+        process_model=ProcessModel.MULTI_THREADED,
+        binary_kb=46000, resident_kb=22000,
+        entrypoint=("/usr/bin/mongod",),
+    ),
+    _app(
+        "mysql", 1.2, "Database",
+        ("FUTEX", "EPOLL", "EVENTFD", "AIO", "UNIX", "INET", "PROC_FS",
+         "FILE_LOCKING", "TMPFS"),
+        process_model=ProcessModel.MULTI_THREADED,
+        binary_kb=24000, resident_kb=16000,
+        entrypoint=("/usr/sbin/mysqld",),
+    ),
+    _app(
+        "traefik", 1.1, "Edge router",
+        ("FUTEX", "EPOLL", "UNIX", "INET", "PACKET", "PROC_FS", "TIMERFD",
+         "INOTIFY_USER"),
+        success=SuccessCriterion.LOG_READY,
+        binary_kb=62000, resident_kb=12000,
+        entrypoint=("/usr/bin/traefik",),
+    ),
+    _app(
+        "memcached", 0.9, "Key-value store",
+        ("FUTEX", "EPOLL", "EVENTFD", "UNIX", "INET", "PACKET", "PROC_FS",
+         "FILE_LOCKING", "ADVISE_SYSCALLS", "TMPFS"),
+        process_model=ProcessModel.MULTI_THREADED,
+        binary_kb=350, resident_kb=420,
+        entrypoint=("/usr/bin/memcached", "-u", "root"),
+    ),
+    _app(
+        "hello-world", 0.9, "C program “hello”",
+        (),
+        success=SuccessCriterion.CONSOLE_OUTPUT,
+        binary_kb=12, resident_kb=16, server=False,
+        entrypoint=("/hello",),
+    ),
+    _app(
+        "mariadb", 0.8, "Database",
+        ("FUTEX", "EPOLL", "EVENTFD", "AIO", "UNIX", "INET", "PROC_FS",
+         "FILE_LOCKING", "ADVISE_SYSCALLS", "TMPFS", "SIGNALFD",
+         "INOTIFY_USER", "CRYPTO_AES"),
+        process_model=ProcessModel.MULTI_THREADED,
+        binary_kb=21000, resident_kb=15000,
+        entrypoint=("/usr/sbin/mysqld",),
+    ),
+    _app(
+        "golang", 0.6, "Language runtime", (),
+        success=SuccessCriterion.COMPILE_HELLO_WORLD,
+        binary_kb=98000, resident_kb=3000, server=False,
+        entrypoint=("/usr/local/go/bin/go", "run", "/app/hello.go"),
+    ),
+    _app(
+        "python", 0.5, "Language runtime", (),
+        success=SuccessCriterion.CONSOLE_OUTPUT,
+        binary_kb=4800, resident_kb=2300, server=False,
+        entrypoint=("/usr/local/bin/python", "-c", "print('hello')"),
+    ),
+    _app(
+        "openjdk", 0.5, "Language runtime", (),
+        success=SuccessCriterion.COMPILE_HELLO_WORLD,
+        binary_kb=180000, resident_kb=14000, server=False,
+        entrypoint=("/usr/bin/java", "Hello"),
+    ),
+    _app(
+        "rabbitmq", 0.5, "Message broker",
+        ("FUTEX", "EPOLL", "EVENTFD", "UNIX", "INET", "PACKET", "PROC_FS",
+         "FILE_LOCKING", "TIMERFD", "INOTIFY_USER", "TMPFS",
+         "SYSCTL_SYSCALL"),
+        process_model=ProcessModel.MULTI_THREADED,
+        success=SuccessCriterion.LOG_READY,
+        binary_kb=15000, resident_kb=24000,
+        entrypoint=("/usr/sbin/rabbitmq-server",),
+    ),
+    _app(
+        "php", 0.4, "Language runtime", (),
+        success=SuccessCriterion.CONSOLE_OUTPUT,
+        binary_kb=11000, resident_kb=3800, server=False,
+        entrypoint=("/usr/local/bin/php", "-r", "echo 'hello';"),
+    ),
+    _app(
+        "wordpress", 0.4, "PHP/mysql blog tool",
+        ("FUTEX", "EPOLL", "UNIX", "INET", "PROC_FS", "FILE_LOCKING",
+         "TMPFS", "SYSVIPC", "ADVISE_SYSCALLS"),
+        process_model=ProcessModel.MULTI_PROCESS,
+        binary_kb=13000, resident_kb=6200, fork_at_startup=True,
+        entrypoint=("/usr/local/bin/apache2-foreground",),
+    ),
+    _app(
+        "haproxy", 0.4, "Load balancer",
+        ("FUTEX", "EPOLL", "EVENTFD", "UNIX", "INET", "PACKET", "PROC_FS",
+         "TIMERFD"),
+        success=SuccessCriterion.LOG_READY,
+        binary_kb=4200, resident_kb=2100,
+        entrypoint=("/usr/sbin/haproxy", "-f", "/etc/haproxy/haproxy.cfg"),
+    ),
+    _app(
+        "influxdb", 0.3, "Time series database",
+        ("FUTEX", "EPOLL", "UNIX", "INET", "PACKET", "PROC_FS",
+         "FILE_LOCKING", "ADVISE_SYSCALLS", "TMPFS", "TIMERFD",
+         "MEMBARRIER"),
+        binary_kb=52000, resident_kb=18000,
+        entrypoint=("/usr/bin/influxd",),
+    ),
+    _app(
+        "elasticsearch", 0.3, "Search engine",
+        ("FUTEX", "EPOLL", "EVENTFD", "UNIX", "INET", "PROC_FS",
+         "FILE_LOCKING", "ADVISE_SYSCALLS", "TMPFS", "SIGNALFD",
+         "INOTIFY_USER", "MEMBARRIER"),
+        process_model=ProcessModel.MULTI_THREADED,
+        success=SuccessCriterion.HEALTH_CHECK,
+        binary_kb=310000, resident_kb=48000,
+        entrypoint=("/usr/share/elasticsearch/bin/elasticsearch",),
+    ),
+)
+
+_BY_NAME = {app.name: app for app in TOP20_APPS}
+
+
+def get_app(name: str) -> Application:
+    """Look up one of the top-20 applications by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def top20_in_popularity_order() -> List[Application]:
+    """Table 3 order: by downloads, descending (ties keep table order)."""
+    return list(TOP20_APPS)
+
+
+def lupine_general_option_union() -> FrozenSet[str]:
+    """The union of all per-app options: the 19 of ``lupine-general``."""
+    union: set = set()
+    for app in TOP20_APPS:
+        union |= app.required_options
+    return frozenset(union)
+
+
+def cumulative_option_growth() -> List[int]:
+    """Figure 5: size of the option union after each app, popularity order."""
+    union: set = set()
+    growth: List[int] = []
+    for app in TOP20_APPS:
+        union |= app.required_options
+        growth.append(len(union))
+    return growth
+
+
+def total_downloads_billions() -> float:
+    return sum(app.downloads_billions for app in TOP20_APPS)

@@ -1,0 +1,13 @@
+"""Block I/O substrate: virtio-blk devices and a write-back page cache.
+
+Models the storage path under the rootfs and the durability-bound
+workloads: reads hit the page cache or fault through to the device; writes
+dirty cache pages cheaply; ``fsync`` pays the device round trips.  The
+Lupine guest's ext2 rootfs sits on a virtio-blk device exposed by
+Firecracker (Figure 2's runtime half).
+"""
+
+from repro.block.device import BlockRequest, RequestKind, VirtioBlockDevice
+from repro.block.pagecache import PageCache
+
+__all__ = ["BlockRequest", "PageCache", "RequestKind", "VirtioBlockDevice"]

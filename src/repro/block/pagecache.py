@@ -1,0 +1,105 @@
+"""A write-back page cache over a block device.
+
+Reads hit the cache (cheap) or miss through to the device; writes dirty
+cache pages without touching the device; ``fsync`` writes back every dirty
+page and issues a device flush -- which is why ``fdatasync``-bound
+workloads (pgbench's WAL) are orders of magnitude slower per operation
+than redis's in-memory path, on any kernel.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.block.device import VirtioBlockDevice
+
+PAGE_KB = 4.0
+
+#: Cache hit cost (lookup + copy).
+HIT_NS = 350.0
+
+
+@dataclass
+class PageCache:
+    """Per-device page cache with LRU eviction."""
+
+    device: VirtioBlockDevice
+    capacity_pages: int = 4096
+    clock_ns: float = 0.0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    _pages: "OrderedDict[int, bool]" = field(default_factory=OrderedDict)
+    # page -> dirty
+
+    def __post_init__(self) -> None:
+        if self.capacity_pages < 1:
+            raise ValueError("cache needs at least one page")
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def dirty_pages(self) -> Set[int]:
+        return {page for page, dirty in self._pages.items() if dirty}
+
+    def _page_of(self, offset_kb: float) -> int:
+        return int(offset_kb // PAGE_KB)
+
+    def _insert(self, page: int, dirty: bool) -> None:
+        if page in self._pages:
+            self._pages[page] = self._pages[page] or dirty
+            self._pages.move_to_end(page)
+            return
+        if len(self._pages) >= self.capacity_pages:
+            victim, victim_dirty = next(iter(self._pages.items()))
+            if victim_dirty:
+                self._writeback(victim)
+            self._pages.popitem(last=False)
+        self._pages[page] = dirty
+
+    def _writeback(self, page: int) -> None:
+        self.clock_ns += self.device.write(page * int(PAGE_KB * 2), PAGE_KB)
+        self.writebacks += 1
+
+    # -- file operations ------------------------------------------------------
+
+    def read(self, offset_kb: float, size_kb: float) -> float:
+        """Read a byte range; returns simulated ns spent."""
+        before = self.clock_ns
+        first = self._page_of(offset_kb)
+        last = self._page_of(offset_kb + max(size_kb, 0.001) - 0.001)
+        for page in range(first, last + 1):
+            if page in self._pages:
+                self._pages.move_to_end(page)
+                self.clock_ns += HIT_NS
+                self.hits += 1
+            else:
+                self.clock_ns += self.device.read(
+                    page * int(PAGE_KB * 2), PAGE_KB
+                )
+                self.misses += 1
+                self._insert(page, dirty=False)
+        return self.clock_ns - before
+
+    def write(self, offset_kb: float, size_kb: float) -> float:
+        """Buffered write: dirties pages, no device I/O."""
+        before = self.clock_ns
+        first = self._page_of(offset_kb)
+        last = self._page_of(offset_kb + max(size_kb, 0.001) - 0.001)
+        for page in range(first, last + 1):
+            self.clock_ns += HIT_NS
+            self._insert(page, dirty=True)
+        return self.clock_ns - before
+
+    def fsync(self) -> float:
+        """Write back all dirty pages, then flush the device."""
+        before = self.clock_ns
+        for page in sorted(self.dirty_pages):
+            self._writeback(page)
+            self._pages[page] = False
+        self.clock_ns += self.device.flush()
+        return self.clock_ns - before

@@ -1,0 +1,64 @@
+"""Boot phases and their cost rules."""
+
+from __future__ import annotations
+
+import enum
+
+
+class BootPhase(enum.Enum):
+    """The phases of a simulated guest boot, in order."""
+
+    MONITOR_SETUP = "monitor-setup"
+    KERNEL_LOAD = "kernel-load"
+    DECOMPRESS = "decompress"
+    EARLY_SETUP = "early-setup"
+    CLOCK_CALIBRATION = "clock-calibration"
+    INITCALLS = "initcalls"
+    ROOTFS_MOUNT = "rootfs-mount"
+    INIT_EXEC = "init-exec"
+
+
+class RootfsKind(enum.Enum):
+    """Root filesystem kinds with distinct mount costs (Section 4.3)."""
+
+    EXT2 = "ext2"
+    RAMFS = "ramfs"
+    ZFS = "zfs"
+    ROFS = "rofs"
+
+    @property
+    def mount_ms(self) -> float:
+        return {
+            RootfsKind.EXT2: 2.4,
+            RootfsKind.RAMFS: 0.4,
+            # OSv's zfs import dominated its boot time until the authors
+            # switched to a read-only filesystem (10x improvement).
+            RootfsKind.ZFS: 41.0,
+            RootfsKind.ROFS: 0.9,
+        }[self]
+
+
+#: Decompression throughput (uncompressed KiB per ms).
+DECOMPRESS_KB_PER_MS = 12000.0
+
+#: Kernel load throughput from the monitor (compressed KiB per ms).
+LOAD_KB_PER_MS = 30000.0
+
+#: Clock calibration with paravirtual clock (kvm-clock): read one MSR.
+PARAVIRT_CLOCK_CALIBRATION_MS = 1.8
+
+#: Clock calibration without paravirt: the PIT-timed TSC calibration loop.
+TSC_CALIBRATION_MS = 49.5
+
+#: Fraction of summed initcall cost visible on the boot critical path
+#: (asynchronous probing overlaps device initcalls).
+INITCALL_ASYNC_FACTOR = 0.80
+
+#: Per-option initcall dispatch overhead (registration, ordering).
+INITCALL_DISPATCH_US = 2.5
+
+#: Fixed early setup (memblock, IDT, percpu areas).
+EARLY_SETUP_MS = 1.1
+
+#: Exec of the init process / startup script interpreter.
+INIT_EXEC_MS = 1.9

@@ -1,0 +1,283 @@
+"""``repro-lupine``: command-line front end.
+
+Subcommands:
+
+- ``build APP``        -- run the Figure 2 pipeline for one of the top-20
+  apps and print the resulting artifact sizes.
+- ``boot APP``         -- build and boot, printing the phase breakdown.
+- ``config APP``       -- print the derived kernel config fragment.
+- ``experiment ID``    -- run one paper experiment (fig3..table5) and print
+  the table/figure; ``all`` runs everything.
+- ``apps``             -- list the top-20 application registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from repro.apps.registry import top20_in_popularity_order
+
+    print(f"{'name':<15} {'downloads(B)':>12} {'options':>8}  description")
+    for app in top20_in_popularity_order():
+        print(
+            f"{app.name:<15} {app.downloads_billions:>12.1f} "
+            f"{app.option_count:>8}  {app.description}"
+        )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_app
+    from repro.core.lupine import LupineBuilder
+    from repro.core.variants import Variant
+
+    app = get_app(args.app)
+    builder = LupineBuilder(variant=Variant(args.variant))
+    unikernel = builder.build_for_app(app)
+    print(f"built {unikernel.build.config.name}")
+    print(f"  kernel image : {unikernel.kernel_image_mb:.2f} MB "
+          f"({len(unikernel.build.config.enabled)} options, "
+          f"kml={'yes' if unikernel.build.kml else 'no'})")
+    print(f"  rootfs (ext2): {unikernel.rootfs_size_mb:.2f} MB "
+          f"({unikernel.rootfs.inode_count} inodes)")
+    print(f"  min memory   : {unikernel.min_memory_mb()} MB")
+    return 0
+
+
+def _cmd_boot(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_app
+    from repro.core.lupine import LupineBuilder
+    from repro.core.variants import Variant
+
+    app = get_app(args.app)
+    unikernel = LupineBuilder(variant=Variant(args.variant)).build_for_app(app)
+    guest = unikernel.boot()
+    print(guest.boot_report.breakdown())
+    for line in guest.console:
+        print(f"console| {line}")
+    return 0 if guest.ran_successfully else 1
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_app
+    from repro.core.specialization import app_config, app_option_requirements
+    from repro.kconfig.parser import format_config_fragment
+
+    app = get_app(args.app)
+    extra = sorted(app_option_requirements(app))
+    print(f"# lupine-{app.name}: lupine-base + {len(extra)} options")
+    for option in extra:
+        print(f"#   + CONFIG_{option}")
+    if args.full:
+        config = app_config(app)
+        values = {name: config.value(name) for name in config.enabled}
+        sys.stdout.write(format_config_fragment(values))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_app
+    from repro.core.manifest import derive_options
+    from repro.core.tracing import manifest_from_app_trace, trace_app_run
+
+    app = get_app(args.app)
+    trace = trace_app_run(app)
+    print(f"# traced {app.name}: {len(trace)} syscalls, "
+          f"{len(trace.distinct_syscalls)} distinct")
+    if args.counts:
+        for name, count in sorted(trace.counts.items(),
+                                  key=lambda item: -item[1]):
+            print(f"{count:>6}  {name}")
+    for facility in trace.facilities:
+        print(f"facility: {facility}")
+    options = derive_options(manifest_from_app_trace(app))
+    print("derived options: " + (", ".join(sorted(options)) or "(none)"))
+    return 0
+
+
+def _resolve_config_argument(name: str):
+    from repro.apps.registry import get_app
+    from repro.core.specialization import app_config, lupine_general_config
+    from repro.kconfig.configs import lupine_base_config, microvm_config
+
+    if name == "microvm":
+        return microvm_config()
+    if name in ("lupine-base", "base"):
+        return lupine_base_config()
+    if name in ("lupine-general", "general"):
+        return lupine_general_config()
+    return app_config(get_app(name))
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.kconfig.diff import diff_configs
+
+    left = _resolve_config_argument(args.left)
+    right = _resolve_config_argument(args.right)
+    diff = diff_configs(left, right)
+    for line in diff.summary_lines(show_options=args.options):
+        print(line)
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.selfcheck import all_passed, run_selfcheck
+
+    results = run_selfcheck()
+    for name, passed, detail in results:
+        status = "ok " if passed else "FAIL"
+        print(f"[{status}] {name}: {detail}")
+    return 0 if all_passed(results) else 1
+
+
+def _cmd_dmesg(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_app
+    from repro.core.lupine import LupineBuilder
+    from repro.core.variants import Variant
+
+    unikernel = LupineBuilder(variant=Variant(args.variant)).build_for_app(
+        get_app(args.app)
+    )
+    print(unikernel.boot().dmesg())
+    return 0
+
+
+def _cmd_lmbench(args: argparse.Namespace) -> int:
+    from repro.experiments import table5_lmbench
+    from repro.metrics.reporting import render_table
+
+    print(render_table(table5_lmbench.table()))
+    return 0
+
+
+def _cmd_footprint(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_app
+    from repro.core.lupine import LupineBuilder
+    from repro.core.variants import Variant
+
+    app = get_app(args.app)
+    unikernel = LupineBuilder(variant=Variant(args.variant)).build_for_app(app)
+    print(f"{unikernel.build.config.name}: "
+          f"{unikernel.min_memory_mb()} MB minimum")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.metrics.reporting import render_figure, render_table
+
+    names = (
+        list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+    )
+    for name in names:
+        module = ALL_EXPERIMENTS.get(name)
+        if module is None:
+            print(f"unknown experiment {name!r}; known: "
+                  f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
+            return 2
+        if hasattr(module, "table"):
+            print(render_table(module.table()))
+        else:
+            print(render_figure(module.figure()))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lupine",
+        description="Lupine Linux (EuroSys 2020) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("apps", help="list the top-20 applications")
+    sub.set_defaults(func=_cmd_apps)
+
+    for name, func, needs_variant in (
+        ("build", _cmd_build, True),
+        ("boot", _cmd_boot, True),
+    ):
+        sub = subparsers.add_parser(name, help=f"{name} a Lupine unikernel")
+        sub.add_argument("app", help="application name (see 'apps')")
+        if needs_variant:
+            sub.add_argument(
+                "--variant", default="lupine",
+                choices=[v.value for v in __import__(
+                    "repro.core.variants", fromlist=["Variant"]
+                ).Variant],
+            )
+        sub.set_defaults(func=func)
+
+    sub = subparsers.add_parser("config", help="show a derived kernel config")
+    sub.add_argument("app")
+    sub.add_argument("--full", action="store_true",
+                     help="print the full .config fragment")
+    sub.set_defaults(func=_cmd_config)
+
+    sub = subparsers.add_parser("experiment", help="run a paper experiment")
+    sub.add_argument("id", help="fig3..fig12, table1/3/4/5, sec5, or 'all'")
+    sub.set_defaults(func=_cmd_experiment)
+
+    sub = subparsers.add_parser(
+        "trace", help="trace an app and derive its manifest options"
+    )
+    sub.add_argument("app")
+    sub.add_argument("--counts", action="store_true",
+                     help="print per-syscall counts")
+    sub.set_defaults(func=_cmd_trace)
+
+    sub = subparsers.add_parser(
+        "diff",
+        help="diff two kernel configs (microvm, lupine-base, "
+             "lupine-general, or any app name)",
+    )
+    sub.add_argument("left")
+    sub.add_argument("right")
+    sub.add_argument("--options", action="store_true",
+                     help="list individual option names")
+    sub.set_defaults(func=_cmd_diff)
+
+    sub = subparsers.add_parser(
+        "selfcheck", help="verify the paper-exact structural invariants"
+    )
+    sub.set_defaults(func=_cmd_selfcheck)
+
+    sub = subparsers.add_parser(
+        "dmesg", help="boot an app and print the kernel console"
+    )
+    sub.add_argument("app")
+    sub.add_argument("--variant", default="lupine")
+    sub.set_defaults(func=_cmd_dmesg)
+
+    sub = subparsers.add_parser(
+        "lmbench", help="run the full lmbench suite (Table 5)"
+    )
+    sub.set_defaults(func=_cmd_lmbench)
+
+    sub = subparsers.add_parser(
+        "footprint", help="measure an app's minimum guest memory"
+    )
+    sub.add_argument("app")
+    sub.add_argument("--variant", default="lupine")
+    sub.set_defaults(func=_cmd_footprint)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: Lupine Linux.
+
+- :mod:`repro.core.manifest` -- application manifests and their generation
+  (the paper assumes a manifest exists; we also implement the
+  dynamic-analysis generator it leaves to future work).
+- :mod:`repro.core.specialization` -- Kconfig specialization: lupine-base,
+  per-application configs, and lupine-general (Section 3.1).
+- :mod:`repro.core.classification` -- the Figure 4 option taxonomy.
+- :mod:`repro.core.variants` -- the evaluated kernel variants: lupine,
+  -nokml, -tiny, -general and combinations (Section 4).
+- :mod:`repro.core.lupine` -- the build pipeline of Figure 2: container
+  image + manifest -> specialized kernel + ext2 rootfs + startup script,
+  and the booted guest with graceful degradation (Section 5).
+"""
+
+from repro.core.classification import OptionClassification, classify_microvm_options
+from repro.core.lupine import LupineBuilder, LupineGuest, LupineUnikernel
+from repro.core.manifest import ApplicationManifest, derive_options, generate_manifest
+from repro.core.specialization import (
+    app_config,
+    app_option_requirements,
+    lupine_general_config,
+    lupine_general_names,
+)
+from repro.core.variants import Variant, VariantBuild, build_variant
+
+__all__ = [
+    "ApplicationManifest",
+    "LupineBuilder",
+    "LupineGuest",
+    "LupineUnikernel",
+    "OptionClassification",
+    "Variant",
+    "VariantBuild",
+    "app_config",
+    "app_option_requirements",
+    "build_variant",
+    "classify_microvm_options",
+    "derive_options",
+    "generate_manifest",
+    "lupine_general_config",
+    "lupine_general_names",
+]

@@ -1,0 +1,133 @@
+"""Kernel orchestration: managing specialized kernels for many apps.
+
+The paper's conclusion and its MultiK citation sketch the deployment
+question Lupine raises: run one specialized kernel per application, or one
+``lupine-general`` kernel for everything?  Section 4 answers it empirically
+(general costs ≤4% throughput, +2 ms boot, slightly larger image); this
+module turns that decision into an operator-facing policy object with a
+build cache, so a fleet of unikernels can be stood up the way the paper's
+evaluation was.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.apps.app import Application
+from repro.core.lupine import LupineBuilder, LupineUnikernel
+from repro.core.variants import Variant
+
+
+class KernelPolicy(enum.Enum):
+    """Which kernel to give each application."""
+
+    #: One specialized kernel per application (maximum specialization).
+    PER_APP = "per-app"
+    #: One lupine-general kernel shared by all (the paper's recommendation
+    #: for general users; Section 4.1).
+    GENERAL = "general"
+    #: Specialized kernels for apps above a popularity threshold, the
+    #: general kernel for the long tail.
+    HYBRID = "hybrid"
+
+
+@dataclass
+class Fleet:
+    """A set of built unikernels plus aggregate statistics."""
+
+    guests: Dict[str, LupineUnikernel] = field(default_factory=dict)
+
+    @property
+    def distinct_kernels(self) -> int:
+        return len({
+            unikernel.build.config.name for unikernel in self.guests.values()
+        })
+
+    @property
+    def total_kernel_mb(self) -> float:
+        seen = {}
+        for unikernel in self.guests.values():
+            seen[unikernel.build.config.name] = unikernel.kernel_image_mb
+        return sum(seen.values())
+
+    def boot_all(self) -> Dict[str, float]:
+        """Boot every guest; returns app -> boot ms."""
+        return {
+            name: unikernel.boot().boot_report.total_ms
+            for name, unikernel in self.guests.items()
+        }
+
+
+@dataclass
+class KernelOrchestrator:
+    """Builds and caches kernels for applications under a policy."""
+
+    policy: KernelPolicy = KernelPolicy.GENERAL
+    kml: bool = True
+    hybrid_downloads_threshold: float = 1.0
+    _cache: Dict[str, LupineUnikernel] = field(default_factory=dict)
+    build_count: int = 0
+
+    def _variant_for(self, app: Application) -> Variant:
+        if self.policy is KernelPolicy.PER_APP:
+            specialized = True
+        elif self.policy is KernelPolicy.GENERAL:
+            specialized = False
+        else:
+            specialized = (
+                app.downloads_billions >= self.hybrid_downloads_threshold
+            )
+        if specialized:
+            return Variant.LUPINE if self.kml else Variant.LUPINE_NOKML
+        return (Variant.LUPINE_GENERAL if self.kml
+                else Variant.LUPINE_GENERAL_NOKML)
+
+    def _cache_key(self, app: Application) -> str:
+        variant = self._variant_for(app)
+        if variant.general:
+            # The general kernel is shared; only the rootfs differs, but the
+            # rootfs is cheap -- cache per app anyway for correctness.
+            return f"general:{app.name}"
+        return f"app:{app.name}"
+
+    def unikernel_for(self, app: Application) -> LupineUnikernel:
+        """Get (building if necessary) the unikernel for *app*."""
+        key = self._cache_key(app)
+        if key not in self._cache:
+            builder = LupineBuilder(variant=self._variant_for(app))
+            self._cache[key] = builder.build_for_app(app)
+            self.build_count += 1
+        return self._cache[key]
+
+    def deploy(self, apps: List[Application]) -> Fleet:
+        """Build a fleet covering *apps*."""
+        fleet = Fleet()
+        for app in apps:
+            fleet.guests[app.name] = self.unikernel_for(app)
+        return fleet
+
+    def coverage_gaps(self, apps: List[Application]) -> List[Tuple[str, str]]:
+        """Apps whose requirements the chosen kernels would not satisfy.
+
+        With PER_APP this is empty by construction; with GENERAL it is empty
+        exactly when every app's options are within the 19-option union --
+        the paper's open question ("it is an open question to provide a
+        guarantee that lupine-general is sufficient for a given workload").
+        """
+        from repro.apps.registry import lupine_general_option_union
+
+        gaps: List[Tuple[str, str]] = []
+        if self.policy is KernelPolicy.PER_APP:
+            return gaps
+        union = lupine_general_option_union()
+        for app in apps:
+            if self.policy is KernelPolicy.HYBRID and (
+                app.downloads_billions >= self.hybrid_downloads_threshold
+            ):
+                continue
+            missing = app.required_options - union
+            for option in sorted(missing):
+                gaps.append((app.name, option))
+        return gaps

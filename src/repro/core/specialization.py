@@ -1,0 +1,71 @@
+"""Kconfig specialization: per-application and general Lupine configs.
+
+Reproduces Section 3.1/4.1: starting from ``lupine-base``, add back exactly
+the options an application's manifest implies; ``lupine-general`` is the
+union over the top-20 applications (19 options, Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Union
+
+from repro.apps.app import Application
+from repro.apps.registry import TOP20_APPS, lupine_general_option_union
+from repro.core.manifest import ApplicationManifest, derive_options, generate_manifest
+from repro.kconfig.database import base_option_names, build_linux_tree
+from repro.kconfig.model import KconfigTree
+from repro.kconfig.resolver import ResolvedConfig, Resolver
+
+
+def app_option_requirements(
+    app_or_manifest: Union[Application, ApplicationManifest],
+) -> FrozenSet[str]:
+    """Options atop lupine-base for an app (Table 3's rightmost column)."""
+    if isinstance(app_or_manifest, Application):
+        manifest = generate_manifest(app_or_manifest)
+    else:
+        manifest = app_or_manifest
+    return derive_options(manifest)
+
+
+def app_config_names(
+    app_or_manifest: Union[Application, ApplicationManifest],
+) -> List[str]:
+    """The full requested-option list for an app-specific kernel."""
+    return base_option_names() + sorted(app_option_requirements(app_or_manifest))
+
+
+def app_config(
+    app_or_manifest: Union[Application, ApplicationManifest],
+    tree: Optional[KconfigTree] = None,
+) -> ResolvedConfig:
+    """Resolve the application-specific Lupine configuration."""
+    if tree is None:
+        tree = build_linux_tree()
+    name = (
+        app_or_manifest.name
+        if isinstance(app_or_manifest, Application)
+        else app_or_manifest.app_name
+    )
+    return Resolver(tree).resolve_names(
+        app_config_names(app_or_manifest), name=f"lupine-{name}"
+    )
+
+
+def lupine_general_names() -> List[str]:
+    """lupine-base plus the 19-option union over the top-20 apps."""
+    return base_option_names() + sorted(lupine_general_option_union())
+
+
+def lupine_general_config(tree: Optional[KconfigTree] = None) -> ResolvedConfig:
+    """The lupine-general configuration (runs all top-20 apps)."""
+    if tree is None:
+        tree = build_linux_tree()
+    return Resolver(tree).resolve_names(lupine_general_names(),
+                                        name="lupine-general")
+
+
+def verify_general_covers_top20() -> bool:
+    """lupine-general must satisfy every top-20 app's requirements."""
+    union = lupine_general_option_union()
+    return all(app.required_options <= union for app in TOP20_APPS)

@@ -1,0 +1,35 @@
+"""Figure 10: KML improvement vs busy-wait iterations between syscalls."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.variants import Variant, build_variant
+from repro.metrics.reporting import Figure
+from repro.syscall.lmbench import kml_improvement
+
+ITERATION_POINTS = (0, 10, 20, 40, 60, 80, 100, 120, 140, 160)
+
+
+def run() -> List[Tuple[int, float]]:
+    kml_build = build_variant(Variant.LUPINE)
+    nokml_build = build_variant(Variant.LUPINE_NOKML)
+    points = []
+    for iterations in ITERATION_POINTS:
+        improvement = kml_improvement(
+            kml_build.syscall_engine(),
+            nokml_build.syscall_engine(),
+            iterations,
+        )
+        points.append((iterations, improvement))
+    return points
+
+
+def figure() -> Figure:
+    output = Figure(
+        title="Figure 10: KML syscall latency improvement vs busy-wait",
+        x_label="iterations between system calls",
+        y_label="KML improvement (fraction)",
+    )
+    output.add_series("improvement", run())
+    return output

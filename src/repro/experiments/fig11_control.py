@@ -1,0 +1,41 @@
+"""Figure 11: syscall latency vs number of background control processes."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.variants import Variant, build_variant
+from repro.metrics.reporting import Figure
+from repro.workloads.control_procs import run_with_control_processes
+
+POWERS = tuple(range(11))  # 2^0 .. 2^10
+
+
+def run() -> Dict[str, List[tuple]]:
+    """series name ('KML Null', 'NOKML Read', ...) -> [(procs, us), ...]."""
+    kml_build = build_variant(Variant.LUPINE)
+    nokml_build = build_variant(Variant.LUPINE_NOKML)
+    series: Dict[str, List[tuple]] = {}
+    for label, build in (("KML", kml_build), ("NOKML", nokml_build)):
+        for test in ("null", "read", "write"):
+            series[f"{label} {test.title()}"] = []
+    for power in POWERS:
+        count = 2 ** power
+        for label, build in (("KML", kml_build), ("NOKML", nokml_build)):
+            result = run_with_control_processes(build.syscall_engine(), count)
+            for test in ("null", "read", "write"):
+                series[f"{label} {test.title()}"].append(
+                    (count, result.latencies_us[test])
+                )
+    return series
+
+
+def figure() -> Figure:
+    output = Figure(
+        title="Figure 11: syscall latency vs background control processes",
+        x_label="# control processes",
+        y_label="microseconds",
+    )
+    for name, points in run().items():
+        output.add_series(name, points)
+    return output

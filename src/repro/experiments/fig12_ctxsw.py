@@ -1,0 +1,54 @@
+"""Figure 12: perf context-switch benchmark, threads vs processes."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.variants import Variant, build_variant
+from repro.metrics.reporting import Figure
+from repro.workloads.perf_messaging import run_messaging
+
+GROUP_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run() -> Dict[str, List[tuple]]:
+    """series -> [(groups, ms per 100-message batch), ...]."""
+    kml_build = build_variant(Variant.LUPINE)
+    nokml_build = build_variant(Variant.LUPINE_NOKML)
+    series: Dict[str, List[tuple]] = {
+        "KML Thread": [], "KML Process": [],
+        "NOKML Thread": [], "NOKML Process": [],
+    }
+    for groups in GROUP_COUNTS:
+        for label, build in (("KML", kml_build), ("NOKML", nokml_build)):
+            for mode, use_processes in (("Thread", False), ("Process", True)):
+                result = run_messaging(
+                    build.syscall_engine(), groups, use_processes
+                )
+                series[f"{label} {mode}"].append(
+                    (groups, result.ms_per_batch)
+                )
+    return series
+
+
+def max_process_penalty() -> float:
+    """Worst-case slowdown of processes vs threads across the sweep."""
+    results = run()
+    worst = 0.0
+    for label in ("KML", "NOKML"):
+        threads = dict(results[f"{label} Thread"])
+        processes = dict(results[f"{label} Process"])
+        for groups in GROUP_COUNTS:
+            worst = max(worst, processes[groups] / threads[groups] - 1.0)
+    return worst
+
+
+def figure() -> Figure:
+    output = Figure(
+        title="Figure 12: perf messaging, threads vs processes",
+        x_label="# groups (10 senders + 10 receivers each)",
+        y_label="ms per 100-message batch",
+    )
+    for name, points in run().items():
+        output.add_series(name, points)
+    return output

@@ -1,0 +1,51 @@
+"""Figure 7: boot time for hello world.
+
+As in the paper, the Lupine bars are ``-nokml`` (CONFIG_PARAVIRT conflicts
+with KML and dominates boot; Section 4.3); ``lupine-kml-noparavirt`` is the
+71 ms data point the text reports for completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.boot.bootsim import BootSimulator
+from repro.core.variants import Variant, build_microvm, build_variant
+from repro.metrics.reporting import Figure
+from repro.unikernels import HermiTux, OSv, Rumprun
+from repro.vmm.monitor import firecracker
+
+
+def run() -> Dict[str, float]:
+    simulator = BootSimulator(monitor_setup_ms=firecracker().setup_ms)
+    results = {
+        "microvm": simulator.boot(build_microvm().image).total_ms,
+        "lupine-nokml": simulator.boot(
+            build_variant(Variant.LUPINE_NOKML).image
+        ).total_ms,
+        "lupine-nokml-general": simulator.boot(
+            build_variant(Variant.LUPINE_GENERAL_NOKML).image
+        ).total_ms,
+        "lupine-nokml-tiny": simulator.boot(
+            build_variant(Variant.LUPINE_NOKML_TINY).image
+        ).total_ms,
+        "lupine-kml-noparavirt": simulator.boot(
+            build_variant(Variant.LUPINE).image
+        ).total_ms,
+        "hermitux": HermiTux().boot_report().total_ms,
+        "osv-rofs": OSv("rofs").boot_report().total_ms,
+        "osv-zfs": OSv("zfs").boot_report().total_ms,
+        "rump": Rumprun().boot_report().total_ms,
+    }
+    return results
+
+
+def figure() -> Figure:
+    results = run()
+    output = Figure(
+        title="Figure 7: boot time for hello world",
+        x_label="system",
+        y_label="milliseconds",
+    )
+    output.add_series("boot time", list(results.items()))
+    return output

@@ -1,0 +1,65 @@
+"""Figure 9: system call latency via lmbench (null/read/write)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.variants import Variant, build_microvm, build_variant
+from repro.metrics.reporting import Figure
+from repro.syscall.lmbench import (
+    null_latency_us,
+    read_latency_us,
+    write_latency_us,
+)
+from repro.unikernels import HermiTux, OSv, Rumprun
+
+TESTS = ("null", "read", "write")
+
+
+def _linux_row(build) -> Dict[str, float]:
+    measurements = {}
+    for test, runner in (("null", null_latency_us), ("read", read_latency_us),
+                         ("write", write_latency_us)):
+        engine = build.syscall_engine()
+        measurements[test] = runner(engine)
+    return measurements
+
+
+def run() -> Dict[str, Dict[str, float]]:
+    results = {
+        "microvm": _linux_row(build_microvm()),
+        "lupine-nokml": _linux_row(build_variant(Variant.LUPINE_NOKML)),
+        "lupine": _linux_row(build_variant(Variant.LUPINE)),
+        "lupine-general": _linux_row(build_variant(Variant.LUPINE_GENERAL)),
+    }
+    for unikernel in (HermiTux(), OSv(), Rumprun()):
+        results[unikernel.name.replace("-rofs", "")] = {
+            test: unikernel.lmbench_us(test) for test in TESTS
+        }
+    return results
+
+
+def specialization_improvement() -> float:
+    """Best-case latency improvement of lupine-nokml over microVM (write)."""
+    results = run()
+    return 1.0 - results["lupine-nokml"]["write"] / results["microvm"]["write"]
+
+
+def kml_improvement() -> float:
+    """KML improvement over lupine-nokml on the null test."""
+    results = run()
+    return 1.0 - results["lupine"]["null"] / results["lupine-nokml"]["null"]
+
+
+def figure() -> Figure:
+    results = run()
+    output = Figure(
+        title="Figure 9: system call latency via lmbench",
+        x_label="system",
+        y_label="microseconds",
+    )
+    for test in TESTS:
+        output.add_series(
+            test, [(system, row[test]) for system, row in results.items()]
+        )
+    return output

@@ -1,0 +1,44 @@
+"""Table 5 (Appendix A): full lmbench, microVM vs lupine-general."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.variants import Variant, build_microvm, build_variant
+from repro.metrics.reporting import Table
+from repro.syscall.lmbench import LmbenchReport, run_suite
+
+
+def run() -> Dict[str, LmbenchReport]:
+    microvm = build_microvm()
+    general = build_variant(Variant.LUPINE_GENERAL)
+    return {
+        "microvm": run_suite(
+            microvm.syscall_engine(), "microvm",
+            net_stack_ns=microvm.network_path().packet_ns(),
+        ),
+        "lupine-general": run_suite(
+            general.syscall_engine(), "lupine-general",
+            net_stack_ns=general.network_path().packet_ns(),
+        ),
+    }
+
+
+def table() -> Table:
+    reports = run()
+    microvm, general = reports["microvm"], reports["lupine-general"]
+    output = Table(
+        title="Table 5: lmbench, microVM vs lupine-general",
+        headers=["Op", "MicroVM", "Lupine-general", "unit"],
+    )
+    for name in microvm.latencies_us:
+        output.add_row(
+            name, microvm.latencies_us[name], general.latencies_us[name],
+            "us",
+        )
+    for name in microvm.bandwidths_mb_s:
+        output.add_row(
+            name, microvm.bandwidths_mb_s[name],
+            general.bandwidths_mb_s[name], "MB/s",
+        )
+    return output

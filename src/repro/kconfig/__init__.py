@@ -1,0 +1,33 @@
+"""Kconfig substrate: the Linux kernel configuration system, in Python.
+
+This subpackage models the parts of Kconfig the paper relies on:
+
+- :mod:`repro.kconfig.expr` -- the tristate expression language used by
+  ``depends on``, ``default`` and friends.
+- :mod:`repro.kconfig.model` -- configuration options and the option tree.
+- :mod:`repro.kconfig.parser` -- a parser for Kconfig-language source text.
+- :mod:`repro.kconfig.resolver` -- ``olddefconfig``-style resolution of a
+  requested option set into a complete, dependency-consistent configuration.
+- :mod:`repro.kconfig.database` -- a generated model of the Linux 4.0 option
+  database (15,953 options, distributed across source directories as in
+  Figure 3 of the paper).
+- :mod:`repro.kconfig.configs` -- named configurations: ``defconfig``,
+  ``tinyconfig``, Firecracker's ``microvm`` and the paper's ``lupine-base``.
+"""
+
+from repro.kconfig.expr import Tristate, parse_expr
+from repro.kconfig.model import ConfigOption, KconfigTree, OptionType
+from repro.kconfig.parser import KconfigParseError, parse_kconfig
+from repro.kconfig.resolver import ResolvedConfig, Resolver
+
+__all__ = [
+    "ConfigOption",
+    "KconfigParseError",
+    "KconfigTree",
+    "OptionType",
+    "ResolvedConfig",
+    "Resolver",
+    "Tristate",
+    "parse_expr",
+    "parse_kconfig",
+]

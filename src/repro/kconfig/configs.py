@@ -1,0 +1,103 @@
+"""Named kernel configurations used throughout the paper.
+
+- ``microvm_config``      -- Firecracker's microVM configuration adapted to
+  Linux 4.0 (833 options), the paper's baseline.
+- ``lupine_base_config``  -- the paper's 283-option application-agnostic base
+  (Section 3.1).
+- ``tinyconfig``          -- the kernel's minimal starting configuration,
+  referenced by the paper's ``-tiny`` discussion (footnote 8).
+- ``defconfig``           -- a general-purpose default configuration, for
+  scale comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.kconfig.database import (
+    base_option_names,
+    build_linux_tree,
+    microvm_option_names,
+)
+from repro.kconfig.model import KconfigTree
+from repro.kconfig.resolver import ResolvedConfig, Resolver
+
+#: The subset of lupine-base that even tinyconfig keeps: the bare machine
+#: bring-up plus enough VFS to mount a root filesystem.
+TINYCONFIG_NAMES: Tuple[str, ...] = (
+    "X86_64",
+    "X86_TSC",
+    "GENERIC_CPU",
+    "MMU",
+    "PRINTK",
+    "BUG",
+    "SLUB",
+    "SLAB_COMMON",
+    "BINFMT_ELF",
+    "VFS_CORE",
+    "DCACHE",
+    "INODE_CACHE",
+    "NAMESPACE_MOUNT",
+    "RAMFS",
+    "TTY",
+    "SERIAL_8250",
+    "SERIAL_CORE",
+    "SERIAL_8250_CONSOLE",
+    "SERIAL_CORE_CONSOLE",
+    "GENERIC_IRQ_CORE",
+    "X86_LOCAL_APIC",
+    "TIMER_WHEEL",
+    "GENERIC_CLOCKEVENTS",
+    "SCHED_CORE_CFS",
+    "RUNQUEUE_SINGLE",
+    "SCHED_TICK",
+    "MMAP_CORE",
+    "BRK_SYSCALL",
+    "PAGE_ALLOC_CORE",
+    "MEMBLOCK_CORE",
+    "VSPRINTF",
+    "KSTRTOX",
+    "STRING_HELPERS",
+    "RBTREE",
+    "BITMAP_LIB",
+    "KOBJECT",
+)
+
+
+def _resolve(
+    tree: Optional[KconfigTree], names, config_name: str
+) -> ResolvedConfig:
+    if tree is None:
+        tree = build_linux_tree()
+    return Resolver(tree).resolve_names(names, name=config_name)
+
+
+def microvm_config(tree: Optional[KconfigTree] = None) -> ResolvedConfig:
+    """Firecracker's microVM configuration (the paper's baseline system)."""
+    return _resolve(tree, microvm_option_names(), "microvm")
+
+
+def lupine_base_config(tree: Optional[KconfigTree] = None) -> ResolvedConfig:
+    """The paper's lupine-base configuration (283 options)."""
+    return _resolve(tree, base_option_names(), "lupine-base")
+
+
+def tinyconfig(tree: Optional[KconfigTree] = None) -> ResolvedConfig:
+    """An approximation of ``make tinyconfig`` for the modelled tree."""
+    return _resolve(tree, TINYCONFIG_NAMES, "tinyconfig")
+
+
+def defconfig(tree: Optional[KconfigTree] = None) -> ResolvedConfig:
+    """A general-purpose defconfig: microVM plus host-hardware defaults.
+
+    Modelled as the microVM set plus every curated hardware option and a
+    deterministic slice of driver filler, giving the "distribution kernel"
+    scale the paper contrasts against (several thousand options).
+    """
+    if tree is None:
+        tree = build_linux_tree()
+    names = list(microvm_option_names())
+    for option in tree.options_in("drivers"):
+        if option.synthetic and int(option.name.rsplit("_", 1)[1]) % 4 == 0:
+            names.append(option.name)
+    return _resolve(tree, names, "defconfig")

@@ -1,0 +1,95 @@
+"""Options that exist in the tree but are not part of the microVM config.
+
+These support the paper's ablations and the Lupine build pipeline itself:
+
+- ``KERNEL_MODE_LINUX`` is added to the tree by applying the KML patch
+  (:mod:`repro.kml`); it does not exist in a pristine Linux 4.0 tree, so the
+  database flags it ``patch_only`` and the builder only accepts it on a
+  patched tree.
+- ``PAGE_TABLE_ISOLATION`` models the KPTI ablation from Section 3.1.2
+  (the paper measured a 10x syscall-latency slowdown with KPTI on Linux 5.0).
+- ``CC_OPTIMIZE_FOR_SIZE`` / ``BASE_SMALL`` model the ``-tiny`` variant's
+  space/performance tradeoffs.
+
+Group tuple layout matches ``removed_options``: (subcategory, category,
+directory, size_kb, boot_us, mem_kb, [names]).
+"""
+
+from __future__ import annotations
+
+EXTENSION_GROUPS = [
+    (
+        "build-tradeoffs",
+        "ext",
+        "init",
+        0.0,
+        0.0,
+        0.0,
+        [
+            "CC_OPTIMIZE_FOR_SIZE",
+            "BASE_SMALL",
+            "KERNEL_XZ",
+            "KERNEL_BZIP2",
+            "SLOB",
+            "NO_HZ_FULL",
+            "PREEMPT_VOLUNTARY",
+            "LTO_DISABLED",
+        ],
+    ),
+    (
+        "timer-hz",
+        "ext",
+        "kernel",
+        0.0,
+        0.0,
+        0.0,
+        [
+            "HZ_100",
+            "HZ_1000",
+        ],
+    ),
+    (
+        "mitigations",
+        "ext",
+        "security",
+        12.0,
+        5.0,
+        4.0,
+        [
+            "PAGE_TABLE_ISOLATION",
+            "RETPOLINE",
+            "HARDENED_USERCOPY",
+            "STACKPROTECTOR_STRONG",
+            "RANDOMIZE_BASE",
+            "DEBUG_RODATA",
+        ],
+    ),
+    (
+        "kml",
+        "ext",
+        "kernel",
+        24.0,
+        6.0,
+        4.0,
+        [
+            "KERNEL_MODE_LINUX",
+        ],
+    ),
+]
+
+#: Options that only exist after a source patch is applied, mapped to the
+#: patch that provides them.
+PATCH_ONLY = {
+    "KERNEL_MODE_LINUX": "kml",
+}
+
+EXTENSION_DEPENDS = {
+    "PAGE_TABLE_ISOLATION": "X86_64",
+    "RANDOMIZE_BASE": "RELOCATABLE",
+    # The paper: CONFIG_PARAVIRT "unfortunately conflicts with KML".
+    "KERNEL_MODE_LINUX": "X86_64 && !PARAVIRT",
+    "BASE_SMALL": "!BASE_FULL",
+    "SLOB": "!SLUB",
+}
+
+EXTENSION_SELECTS = {}

@@ -1,0 +1,324 @@
+"""``olddefconfig``-style configuration resolution.
+
+Given an option tree and a *requested* set of values (a config fragment), the
+resolver computes a complete, dependency-consistent configuration, applying
+the same rules the kernel's ``scripts/kconfig/conf`` applies:
+
+1. options whose ``depends on`` evaluates to ``n`` are demoted to ``n``;
+2. ``select`` forces its target to at least the selecting option's value,
+   even against the target's own dependencies (recorded as a violation,
+   exactly as kconfig warns);
+3. unrequested visible options take their ``default`` (or ``n``);
+4. tristate values are clamped to bool for bool options.
+
+Resolution iterates to a fixpoint; Kconfig guarantees termination because
+values only move monotonically once requests are pinned, and we additionally
+cap the iteration count defensively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Set, Tuple
+
+from repro.kconfig.expr import Tristate
+from repro.kconfig.model import ConfigOption, KconfigTree, OptionType, UnknownOptionError
+
+_MAX_ITERATIONS = 64
+
+
+class ResolutionError(RuntimeError):
+    """Raised when resolution cannot reach a fixpoint (should not happen)."""
+
+
+@dataclass(frozen=True)
+class ResolvedConfig:
+    """An immutable, fully resolved kernel configuration.
+
+    ``values`` holds every symbolic option's tristate; ``enabled`` is the
+    frozen set of option names with value > ``n`` (the paper's "selected
+    options" unit of account).
+    """
+
+    tree: KconfigTree
+    values: Mapping[str, Tristate]
+    requested: Mapping[str, Tristate]
+    demoted: Mapping[str, str]
+    select_violations: Tuple[Tuple[str, str], ...]
+    name: str = ""
+
+    @property
+    def enabled(self) -> FrozenSet[str]:
+        return frozenset(
+            name for name, value in self.values.items() if value is not Tristate.NO
+        )
+
+    @property
+    def builtin(self) -> FrozenSet[str]:
+        return frozenset(
+            name for name, value in self.values.items() if value is Tristate.YES
+        )
+
+    @property
+    def modules(self) -> FrozenSet[str]:
+        return frozenset(
+            name for name, value in self.values.items() if value is Tristate.MODULE
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return self.values.get(name, Tristate.NO) is not Tristate.NO
+
+    def value(self, name: str) -> Tristate:
+        return self.values.get(name, Tristate.NO)
+
+    def __len__(self) -> int:
+        return len(self.enabled)
+
+    def options(self) -> List[ConfigOption]:
+        """The enabled options, in tree order."""
+        return [self.tree[name] for name in self.tree.names() if name in self]
+
+    def with_name(self, name: str) -> "ResolvedConfig":
+        return ResolvedConfig(
+            tree=self.tree,
+            values=self.values,
+            requested=self.requested,
+            demoted=self.demoted,
+            select_violations=self.select_violations,
+            name=name,
+        )
+
+    def diff(self, other: "ResolvedConfig") -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """Return ``(only_in_self, only_in_other)`` enabled-option sets."""
+        return self.enabled - other.enabled, other.enabled - self.enabled
+
+
+class Resolver:
+    """Resolves requested option sets against a :class:`KconfigTree`."""
+
+    def __init__(self, tree: KconfigTree, strict: bool = True):
+        self.tree = tree
+        self.strict = strict
+
+    def resolve(
+        self,
+        requested: Mapping[str, Tristate],
+        name: str = "",
+    ) -> ResolvedConfig:
+        """Resolve *requested* into a complete configuration.
+
+        In strict mode, requesting an option the tree does not define raises
+        :class:`UnknownOptionError`; otherwise unknown requests are dropped.
+        """
+        pinned = self._validate_requests(requested)
+        values = self._initial_values(pinned)
+        demoted: Dict[str, str] = {}
+        select_violations: Set[Tuple[str, str]] = set()
+
+        for _ in range(_MAX_ITERATIONS):
+            changed = False
+            # select overrides depends-on in kconfig, so compute the set of
+            # select-forced targets first and exempt them from demotion.
+            forced = self._forced_targets(values)
+            changed |= self._apply_dependencies(values, pinned, demoted, forced)
+            changed |= self._apply_selects(values, demoted, select_violations)
+            changed |= self._apply_defaults(values, pinned)
+            changed |= self._apply_choices(values, pinned, demoted)
+            if not changed:
+                break
+        else:
+            raise ResolutionError("configuration did not converge")
+
+        # Re-check select-forced options against their dependencies one last
+        # time so violations caused by late demotions are recorded.
+        for source_name, target_name in self._select_edges(values):
+            target = self.tree[target_name]
+            if target.depends_on.evaluate(values) is Tristate.NO:
+                select_violations.add((source_name, target_name))
+
+        return ResolvedConfig(
+            tree=self.tree,
+            values=dict(values),
+            requested=dict(pinned),
+            demoted=dict(demoted),
+            select_violations=tuple(sorted(select_violations)),
+            name=name,
+        )
+
+    def resolve_names(self, names: Iterable[str], name: str = "") -> ResolvedConfig:
+        """Convenience: resolve a plain iterable of option names, all ``y``."""
+        return self.resolve({n: Tristate.YES for n in names}, name=name)
+
+    # -- internals ---------------------------------------------------------
+
+    def _validate_requests(
+        self, requested: Mapping[str, Tristate]
+    ) -> Dict[str, Tristate]:
+        pinned: Dict[str, Tristate] = {}
+        for option_name, value in requested.items():
+            option = self.tree.get(option_name)
+            if option is None:
+                if self.strict:
+                    raise UnknownOptionError(option_name)
+                continue
+            if not option.option_type.is_symbolic:
+                continue
+            if option.option_type is OptionType.BOOL and value is Tristate.MODULE:
+                value = Tristate.YES
+            pinned[option_name] = value
+        return pinned
+
+    def _initial_values(self, pinned: Mapping[str, Tristate]) -> Dict[str, Tristate]:
+        values = {
+            option.name: Tristate.NO
+            for option in self.tree
+            if option.option_type.is_symbolic
+        }
+        values.update(pinned)
+        return values
+
+    def _forced_targets(self, values: Dict[str, Tristate]) -> Set[str]:
+        """Names currently forced on by an enabled option's select."""
+        return {target for _, target in self._select_edges(values)}
+
+    def _select_edges(self, values: Dict[str, Tristate]):
+        """(source, target) select edges whose source is enabled."""
+        for option in self.tree:
+            if values.get(option.name, Tristate.NO) is Tristate.NO:
+                continue
+            for target_name in option.selects:
+                target = self.tree.get(target_name)
+                if target is not None and target.option_type.is_symbolic:
+                    yield option.name, target_name
+
+    def _apply_dependencies(
+        self,
+        values: Dict[str, Tristate],
+        pinned: Mapping[str, Tristate],
+        demoted: Dict[str, str],
+        forced: Set[str],
+    ) -> bool:
+        changed = False
+        for option in self.tree:
+            if not option.option_type.is_symbolic:
+                continue
+            current = values[option.name]
+            if current is Tristate.NO:
+                continue
+            if option.name in forced:
+                continue
+            visible = option.depends_on.evaluate(values)
+            if visible is Tristate.NO:
+                values[option.name] = Tristate.NO
+                demoted[option.name] = str(option.depends_on)
+                changed = True
+            elif visible is Tristate.MODULE and current is Tristate.YES:
+                if option.option_type is OptionType.TRISTATE:
+                    values[option.name] = Tristate.MODULE
+                    changed = True
+        return changed
+
+    def _apply_selects(
+        self,
+        values: Dict[str, Tristate],
+        demoted: Dict[str, str],
+        select_violations: Set[Tuple[str, str]],
+    ) -> bool:
+        changed = False
+        for option in self.tree:
+            source_value = values.get(option.name, Tristate.NO)
+            if source_value is Tristate.NO:
+                continue
+            for target_name in option.selects:
+                target = self.tree.get(target_name)
+                if target is None or not target.option_type.is_symbolic:
+                    continue
+                forced = source_value
+                if target.option_type is OptionType.BOOL:
+                    forced = Tristate.YES
+                if values[target_name] < forced:
+                    values[target_name] = forced
+                    demoted.pop(target_name, None)
+                    changed = True
+                    if target.depends_on.evaluate(values) is Tristate.NO:
+                        select_violations.add((option.name, target_name))
+        return changed
+
+    def _apply_choices(
+        self,
+        values: Dict[str, Tristate],
+        pinned: Mapping[str, Tristate],
+        demoted: Dict[str, str],
+    ) -> bool:
+        """Enforce choice-group exclusivity and defaults.
+
+        Among enabled members the winner is the first *requested* one (in
+        request order), else the first enabled in member order; everyone
+        else is demoted.  An all-off choice takes its default member.
+        """
+        changed = False
+        for choice in self.tree.choices():
+            enabled_members = [
+                m for m in choice.members
+                if values.get(m, Tristate.NO) is not Tristate.NO
+            ]
+            if not enabled_members:
+                default = choice.default_member
+                if default is not None and default not in pinned:
+                    option = self.tree[default]
+                    if option.depends_on.evaluate(values) is not Tristate.NO:
+                        values[default] = Tristate.YES
+                        changed = True
+                continue
+            requested_members = [
+                m for m in pinned
+                if m in choice.members
+                and pinned[m] is not Tristate.NO
+                and values.get(m, Tristate.NO) is not Tristate.NO
+            ]
+            winner = (requested_members or enabled_members)[0]
+            for member in enabled_members:
+                if member is not winner and member != winner:
+                    values[member] = Tristate.NO
+                    demoted[member] = f"choice {choice.name}: {winner} wins"
+                    changed = True
+        return changed
+
+    def _apply_defaults(
+        self,
+        values: Dict[str, Tristate],
+        pinned: Mapping[str, Tristate],
+    ) -> bool:
+        changed = False
+        for option in self.tree:
+            if not option.option_type.is_symbolic or option.default is None:
+                continue
+            if option.name in pinned or values[option.name] is not Tristate.NO:
+                continue
+            if option.depends_on.evaluate(values) is Tristate.NO:
+                continue
+            value = option.default.evaluate(values)
+            if option.option_type is OptionType.BOOL and value is Tristate.MODULE:
+                value = Tristate.YES
+            if value is not Tristate.NO:
+                values[option.name] = value
+                changed = True
+        return changed
+
+
+def enabled_closure(tree: KconfigTree, names: Iterable[str]) -> FrozenSet[str]:
+    """Transitive closure of *names* under ``select`` edges.
+
+    Useful for quick what-if queries without running a full resolution.
+    """
+    closure: Set[str] = set()
+    frontier = [name for name in names if name in tree]
+    while frontier:
+        current = frontier.pop()
+        if current in closure:
+            continue
+        closure.add(current)
+        frontier.extend(
+            target for target in tree[current].selects if target not in closure
+        )
+    return frozenset(closure)

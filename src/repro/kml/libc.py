@@ -1,0 +1,58 @@
+"""The patched musl libc.
+
+The KML libc patch is minimal (Section 3.2): each ``syscall`` instruction at
+a call site becomes a same-privilege ``call`` through the entry point the
+patched kernel exports via the vsyscall page.  Dynamically linked binaries
+just load the patched libc; statically linked binaries must be recompiled
+against it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.syscall.cpu import EntryMechanism
+
+
+class LibcVariant(enum.Enum):
+    """Which libc build a root filesystem ships."""
+
+    MUSL = "musl"
+    MUSL_KML = "musl-kml"
+    GLIBC = "glibc"
+
+
+@dataclass(frozen=True)
+class MuslLibc:
+    """A musl libc build, possibly KML-patched."""
+
+    kml_patched: bool = False
+
+    @property
+    def variant(self) -> LibcVariant:
+        return LibcVariant.MUSL_KML if self.kml_patched else LibcVariant.MUSL
+
+    def entry_mechanism(self, kernel_exports_kml_entry: bool) -> EntryMechanism:
+        """How binaries linked against this libc enter the kernel.
+
+        A KML-patched libc on a non-KML kernel falls back to the ``syscall``
+        instruction (the vsyscall page does not export the call entry), so
+        mixing components degrades gracefully instead of crashing.
+        """
+        if self.kml_patched and kernel_exports_kml_entry:
+            return EntryMechanism.KML_CALL
+        return EntryMechanism.SYSCALL
+
+    def can_run_binary(self, statically_linked: bool,
+                       recompiled_against_kml: bool = False) -> bool:
+        """Whether a binary gets KML entry without modification.
+
+        Dynamic binaries need nothing; static ones must be recompiled
+        against the patched libc (Section 3.2).
+        """
+        if not self.kml_patched:
+            return True
+        if statically_linked:
+            return recompiled_against_kml
+        return True

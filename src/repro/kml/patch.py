@@ -1,0 +1,54 @@
+"""The KML kernel patch.
+
+Applying the patch to a kernel source tree adds the
+``CONFIG_KERNEL_MODE_LINUX`` option.  The paper modifies KML so *all*
+processes run in kernel mode (upstream KML only elevates executables under
+``/trusted``); both behaviours are modelled.
+
+The patch only exists for Linux up to 4.0 ("the most recent available
+version for KML", Section 4), and conflicts with ``CONFIG_PARAVIRT`` --
+enforced here and by the resolver through the option's dependency
+expression ``X86_64 && !PARAVIRT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kconfig.database import build_linux_tree
+from repro.kconfig.model import KconfigTree
+
+
+class PatchError(RuntimeError):
+    """Raised when a patch cannot be applied."""
+
+
+#: Kernel versions the KML patch applies to cleanly.
+KML_SUPPORTED_VERSIONS = ("4.0",)
+
+
+@dataclass(frozen=True)
+class KmlPatch:
+    """The Kernel Mode Linux patch.
+
+    ``all_processes_kernel_mode`` is the paper's Lupine modification: the
+    single application always runs in ring 0 instead of requiring the
+    ``/trusted`` path convention.
+    """
+
+    all_processes_kernel_mode: bool = True
+
+    def apply(self, kernel_version: str = "4.0") -> KconfigTree:
+        """Apply the patch, returning the patched option tree."""
+        if kernel_version not in KML_SUPPORTED_VERSIONS:
+            raise PatchError(
+                f"KML patch does not apply to Linux {kernel_version}; "
+                f"supported: {', '.join(KML_SUPPORTED_VERSIONS)}"
+            )
+        return build_linux_tree(version=kernel_version, patches=("kml",))
+
+    def runs_in_kernel_mode(self, executable_path: str) -> bool:
+        """Would a process started from *executable_path* run in ring 0?"""
+        if self.all_processes_kernel_mode:
+            return True
+        return executable_path.startswith("/trusted/")

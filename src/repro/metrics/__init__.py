@@ -1,0 +1,5 @@
+"""Measurement helpers and table/figure renderers."""
+
+from repro.metrics.reporting import Figure, Table, render_figure, render_table
+
+__all__ = ["Figure", "Table", "render_figure", "render_table"]

@@ -1,0 +1,60 @@
+"""Export figures as gnuplot-style ``.dat`` blocks.
+
+One block per series (blank-line separated, gnuplot ``index`` convention),
+two columns per row: x and y.  Non-numeric x values (system names on bar
+charts) are written as a comment column plus an ordinal, so the files plot
+directly with ``plot 'fig6.dat' index 0 using 1:2:xtic(3)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metrics.reporting import Figure
+
+
+def figure_to_dat(figure: Figure) -> str:
+    """Render *figure* as gnuplot data blocks."""
+    blocks: List[str] = [f"# {figure.title}",
+                         f"# x: {figure.x_label}  y: {figure.y_label}"]
+    for series in figure.series:
+        lines = [f"# series: {series.name}"]
+        for ordinal, (x, y) in enumerate(series.points):
+            if y is None or y != y or y == float("inf"):
+                y_text = "nan"
+            else:
+                y_text = f"{float(y):.6g}"
+            if isinstance(x, (int, float)):
+                lines.append(f"{x} {y_text}")
+            else:
+                lines.append(f"{ordinal} {y_text} \"{x}\"")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+def parse_dat(text: str) -> List[List[tuple]]:
+    """Parse a ``.dat`` file back into series point lists (for tests)."""
+    series: List[List[tuple]] = []
+    current: List[tuple] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            if current:
+                series.append(current)
+                current = []
+            continue
+        if line.startswith("# series:") and current:
+            series.append(current)
+            current = []
+        if line.startswith("#"):
+            continue
+        parts = line.split()
+        x = float(parts[0])
+        y = float(parts[1])
+        if len(parts) > 2:
+            current.append((parts[2].strip('"'), y))
+        else:
+            current.append((x, y))
+    if current:
+        series.append(current)
+    return series

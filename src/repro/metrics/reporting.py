@@ -1,0 +1,112 @@
+"""Plain-text renderers for the paper's tables and figures.
+
+Benchmarks print through these so their output lines up with the paper's
+rows/series; the same structures feed EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+@dataclass
+class Table:
+    """A paper-style table: header + rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} "
+                "columns"
+            )
+        self.rows.append(cells)
+
+
+@dataclass
+class Figure:
+    """A paper-style figure rendered as labelled series."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List["Series"] = field(default_factory=list)
+
+    def add_series(self, name: str, points: Sequence[tuple]) -> None:
+        self.series.append(Series(name=name, points=list(points)))
+
+
+@dataclass
+class Series:
+    name: str
+    points: List[tuple]
+
+
+def _format_cell(cell: Cell, width: int = 0) -> str:
+    if cell is None:
+        text = "-"
+    elif isinstance(cell, float):
+        magnitude = abs(cell)
+        if magnitude != 0 and magnitude < 0.01:
+            text = f"{cell:.5f}"
+        elif magnitude < 10:
+            text = f"{cell:.3f}"
+        else:
+            text = f"{cell:,.1f}"
+    else:
+        text = str(cell)
+    return text.rjust(width) if width else text
+
+
+def render_table(table: Table) -> str:
+    """Render a table as aligned plain text."""
+    formatted_rows = [
+        [_format_cell(cell) for cell in row] for row in table.rows
+    ]
+    widths = [len(h) for h in table.headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [table.title, ""]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in
+                           enumerate(table.headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in
+                               enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_figure(figure: Figure, bar_width: int = 40) -> str:
+    """Render a figure as labelled series with ASCII bars."""
+    lines = [figure.title, f"  x: {figure.x_label}   y: {figure.y_label}", ""]
+    peak = 0.0
+    for series in figure.series:
+        for _, y in series.points:
+            if isinstance(y, (int, float)) and y == y and y != float("inf"):
+                peak = max(peak, float(y))
+    for series in figure.series:
+        lines.append(f"[{series.name}]")
+        for x, y in series.points:
+            if y is None or y != y or y == float("inf"):
+                lines.append(f"  {str(x):>12}  N/A")
+                continue
+            bar = "#" * int(round(bar_width * float(y) / peak)) if peak else ""
+            lines.append(f"  {str(x):>12}  {_format_cell(float(y)):>10}  {bar}")
+    return "\n".join(lines)
+
+
+def render_markdown_table(table: Table) -> str:
+    """Render a table as GitHub markdown (for EXPERIMENTS.md)."""
+    lines = [f"**{table.title}**", ""]
+    lines.append("| " + " | ".join(table.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in table.headers) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(_format_cell(c) for c in row) + " |")
+    return "\n".join(lines)

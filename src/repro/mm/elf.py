@@ -1,0 +1,153 @@
+"""ELF loading: from rootfs file to demand-paged address space.
+
+Ties the rootfs and memory substrates together the way ``execve`` does:
+resolve the binary in the ext2 image (following symlinks), split it into
+segments, create lazy mappings for text/rodata/data plus an anonymous bss,
+and -- for dynamically linked binaries -- map the interpreter (musl's
+``ld-musl-x86_64.so.1``) too.  Only the pages actually touched become
+resident, which is the mechanism behind Figure 8's flat Linux footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.mm.address_space import AddressSpace, Mapping
+from repro.rootfs.ext2 import Ext2Image
+
+#: Path of the musl dynamic loader inside Lupine rootfs images.
+MUSL_LOADER = "/lib/ld-musl-x86_64.so.1"
+
+#: Segment split of a typical ELF executable (fractions of file size).
+_TEXT_FRACTION = 0.68
+_RODATA_FRACTION = 0.17
+_DATA_FRACTION = 0.15
+#: bss as a fraction of data (zero pages, not file-backed).
+_BSS_OVER_DATA = 0.60
+
+#: Startup working set: fraction of text actually executed to reach main.
+STARTUP_TEXT_FRACTION = 0.18
+
+
+class ElfError(ValueError):
+    """Raised when a path cannot be executed."""
+
+
+@dataclass(frozen=True)
+class ElfSegment:
+    """One loadable segment."""
+
+    name: str
+    size_kb: float
+    writable: bool
+    file_backed: bool
+
+
+@dataclass(frozen=True)
+class ElfBinary:
+    """A parsed executable."""
+
+    path: str
+    file_kb: float
+    segments: Tuple[ElfSegment, ...]
+    dynamic: bool
+    interpreter: Optional[str]
+
+    @property
+    def mapped_kb(self) -> float:
+        return sum(segment.size_kb for segment in self.segments)
+
+
+def parse_elf(image: Ext2Image, path: str, dynamic: bool = True) -> ElfBinary:
+    """Resolve and 'parse' an executable from an ext2 image."""
+    inode = image.resolve(path)
+    if inode.is_directory:
+        raise ElfError(f"{path} is a directory")
+    if not inode.executable:
+        raise ElfError(f"{path} is not executable")
+    file_kb = inode.size_bytes / 1024.0
+    data_kb = file_kb * _DATA_FRACTION
+    segments = (
+        ElfSegment("text", file_kb * _TEXT_FRACTION, writable=False,
+                   file_backed=True),
+        ElfSegment("rodata", file_kb * _RODATA_FRACTION, writable=False,
+                   file_backed=True),
+        ElfSegment("data", data_kb, writable=True, file_backed=True),
+        ElfSegment("bss", data_kb * _BSS_OVER_DATA, writable=True,
+                   file_backed=False),
+    )
+    return ElfBinary(
+        path=inode.path,
+        file_kb=file_kb,
+        segments=segments,
+        dynamic=dynamic,
+        interpreter=MUSL_LOADER if dynamic else None,
+    )
+
+
+@dataclass
+class LoadedImage:
+    """A binary mapped into an address space."""
+
+    binary: ElfBinary
+    mappings: List[Mapping]
+    interpreter_mapping: Optional[Mapping]
+
+    def mapping(self, segment_name: str) -> Mapping:
+        for candidate in self.mappings:
+            if candidate.name.endswith(f":{segment_name}"):
+                return candidate
+        raise KeyError(segment_name)
+
+
+def load_elf(
+    space: AddressSpace,
+    rootfs: Ext2Image,
+    path: str,
+    dynamic: bool = True,
+) -> LoadedImage:
+    """Map *path* from *rootfs* into *space*, execve-style.
+
+    Creates lazy mappings for every segment and touches only the startup
+    working set (loader entry + early text + data page), mirroring demand
+    paging on a real exec.
+    """
+    binary = parse_elf(rootfs, path, dynamic=dynamic)
+    mappings: List[Mapping] = []
+    for segment in binary.segments:
+        mapping = space.mmap(
+            max(segment.size_kb, 4.0),
+            name=f"{binary.path}:{segment.name}",
+        )
+        mappings.append(mapping)
+
+    interpreter_mapping: Optional[Mapping] = None
+    if binary.interpreter is not None:
+        if not rootfs.exists(binary.interpreter):
+            raise ElfError(
+                f"dynamic binary {path} needs missing interpreter "
+                f"{binary.interpreter}"
+            )
+        loader = rootfs.resolve(binary.interpreter)
+        interpreter_mapping = space.mmap(
+            max(loader.size_bytes / 1024.0, 4.0),
+            name=f"{binary.interpreter}:text",
+        )
+        # The loader runs first: its text is touched immediately.
+        space.touch_range(
+            interpreter_mapping, loader.size_bytes / 1024.0 * 0.5
+        )
+
+    # Startup working set: early text, one data page, one bss page (stack
+    # and heap come from separate anonymous mappings made by the runtime).
+    text = mappings[0]
+    space.touch_range(text, binary.segments[0].size_kb *
+                      STARTUP_TEXT_FRACTION)
+    space.touch_range(mappings[2], 4.0)
+    space.touch_range(mappings[3], 4.0)
+    return LoadedImage(
+        binary=binary,
+        mappings=mappings,
+        interpreter_mapping=interpreter_mapping,
+    )

@@ -1,0 +1,103 @@
+"""Memory footprint measurement (Figure 8).
+
+The paper defines footprint as the minimum memory with which the guest
+still satisfies its success criterion, found by repeatedly booting with a
+decreasing memory parameter.  :func:`measure_min_memory_mb` reproduces that
+search procedure against a boot attempt driven by the demand-paging model.
+
+The :class:`FootprintModel` composes a Linux guest's memory needs:
+
+- resident kernel code (from the built image; init sections freed),
+- kernel static allocations (per enabled option, scaled: much of each
+  option's state is allocated only on use),
+- boot-time slack the allocator needs to make progress (page tables,
+  percpu areas, buffers) -- common to every Linux guest,
+- the userspace base (init + libc) and the application's resident set,
+  which is small because binaries load lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.kbuild.image import KernelImage
+from repro.mm.address_space import AddressSpace, OutOfMemoryError, PhysicalMemory
+
+#: Fraction of per-option static memory actually allocated at boot.
+STATIC_ALLOC_FACTOR = 0.35
+
+#: Userspace base: init system + dynamic loader + libc resident pages (KiB).
+USERSPACE_BASE_KB = 2560.0
+
+#: Boot-time slack: page tables, percpu, kernel stacks, I/O buffers (KiB).
+BOOT_SLACK_KB = 9420.0
+
+
+@dataclass(frozen=True)
+class FootprintModel:
+    """Memory requirements of one Linux guest (kernel image + app)."""
+
+    image: KernelImage
+    app_resident_kb: float = 512.0
+    app_mapped_kb: float = 4096.0
+
+    def kernel_static_kb(self) -> float:
+        config = self.image.config
+        return STATIC_ALLOC_FACTOR * sum(
+            config.tree[name].mem_cost_kb for name in config.enabled
+        )
+
+    def required_kb(self) -> float:
+        """Total resident memory a successful boot needs."""
+        return (
+            self.image.resident_kernel_kb
+            + self.kernel_static_kb()
+            + BOOT_SLACK_KB
+            + USERSPACE_BASE_KB
+            + self.app_resident_kb
+        )
+
+    def try_boot(self, memory_mb: int) -> bool:
+        """Attempt a boot under *memory_mb*; True if the guest comes up.
+
+        Exercises the demand-paging machinery: static parts are reserved
+        eagerly, the app binary is mapped fully but only its resident set
+        is touched.
+        """
+        physical = PhysicalMemory(total_bytes=memory_mb * 1024 * 1024)
+        try:
+            physical.reserve_kb(self.image.resident_kernel_kb)
+            physical.reserve_kb(self.kernel_static_kb())
+            physical.reserve_kb(BOOT_SLACK_KB)
+            space = AddressSpace(asid=1, physical=physical)
+            libc = space.mmap(USERSPACE_BASE_KB, name="init+libc")
+            space.touch_range(libc, USERSPACE_BASE_KB)
+            app = space.mmap(self.app_mapped_kb, name="app")
+            space.touch_range(app, self.app_resident_kb)
+        except OutOfMemoryError:
+            return False
+        return True
+
+
+def measure_min_memory_mb(
+    try_boot: Callable[[int], bool],
+    upper_mb: int = 512,
+    lower_mb: int = 1,
+) -> int:
+    """Find the minimum whole-MB memory for which *try_boot* succeeds.
+
+    Mirrors the paper's methodology (decreasing memory passed to the
+    monitor), implemented as a binary search for speed.  Raises if the
+    guest cannot boot even at *upper_mb*.
+    """
+    if not try_boot(upper_mb):
+        raise OutOfMemoryError(f"guest does not boot even with {upper_mb} MB")
+    low, high = lower_mb, upper_mb  # invariant: high boots; low-1 untested
+    while low < high:
+        middle = (low + high) // 2
+        if try_boot(middle):
+            high = middle
+        else:
+            low = middle + 1
+    return high

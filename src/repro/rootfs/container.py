@@ -1,0 +1,123 @@
+"""Container image model.
+
+A minimal OCI-ish image: ordered layers of files plus the metadata Lupine
+consumes (entrypoint, env).  :func:`container_for_app` synthesizes the
+Alpine-based images the paper pulls from Docker Hub, including the musl
+libc and the application binary with realistic sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.app import Application
+from repro.kml.libc import LibcVariant
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One file inside a container layer / rootfs."""
+
+    path: str
+    size_kb: float
+    executable: bool = False
+    symlink_to: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError(f"container paths must be absolute: {self.path!r}")
+        if self.size_kb < 0:
+            raise ValueError("file size cannot be negative")
+
+
+@dataclass
+class Layer:
+    """One container image layer."""
+
+    name: str
+    files: List[FileEntry] = field(default_factory=list)
+
+    @property
+    def size_kb(self) -> float:
+        return sum(entry.size_kb for entry in self.files)
+
+
+@dataclass
+class ContainerImage:
+    """A container image: layers + runtime metadata."""
+
+    name: str
+    tag: str = "latest"
+    layers: List[Layer] = field(default_factory=list)
+    entrypoint: Tuple[str, ...] = ()
+    env: Tuple[Tuple[str, str], ...] = ()
+    working_dir: str = "/"
+
+    def add_layer(self, layer: Layer) -> None:
+        self.layers.append(layer)
+
+    def flatten(self) -> Dict[str, FileEntry]:
+        """Apply layers in order; later layers override earlier paths."""
+        merged: Dict[str, FileEntry] = {}
+        for layer in self.layers:
+            for entry in layer.files:
+                merged[entry.path] = entry
+        return merged
+
+    @property
+    def total_size_kb(self) -> float:
+        return sum(entry.size_kb for entry in self.flatten().values())
+
+
+#: Alpine 3.10 base layer contents (the userspace the paper uses).
+_ALPINE_BASE = (
+    FileEntry("/bin/busybox", 820.0, executable=True),
+    FileEntry("/bin/sh", 0.0, symlink_to="/bin/busybox"),
+    FileEntry("/etc/passwd", 1.0),
+    FileEntry("/etc/group", 1.0),
+    FileEntry("/etc/resolv.conf", 1.0),
+    FileEntry("/lib/libz.so.1", 96.0),
+    FileEntry("/lib/apk/db/installed", 24.0),
+)
+
+_MUSL_SIZE_KB = 584.0
+
+
+def alpine_base_layer(libc: LibcVariant = LibcVariant.MUSL) -> Layer:
+    """The Alpine base layer with the requested libc variant."""
+    files = list(_ALPINE_BASE)
+    files.append(
+        FileEntry(
+            "/lib/ld-musl-x86_64.so.1",
+            _MUSL_SIZE_KB * (1.002 if libc is LibcVariant.MUSL_KML else 1.0),
+            executable=True,
+        )
+    )
+    files.append(FileEntry("/lib/libc.musl-x86_64.so.1", 0.0,
+                           symlink_to="/lib/ld-musl-x86_64.so.1"))
+    return Layer(name=f"alpine-3.10-{libc.value}", files=files)
+
+
+def container_for_app(
+    app: Application, libc: LibcVariant = LibcVariant.MUSL
+) -> ContainerImage:
+    """Synthesize the Docker Hub container image for *app*."""
+    image = ContainerImage(
+        name=app.name,
+        entrypoint=tuple(app.entrypoint),
+        env=tuple(app.env) + (("PATH", "/usr/sbin:/usr/bin:/sbin:/bin"),),
+    )
+    image.add_layer(alpine_base_layer(libc))
+    binary_path = app.entrypoint[0]
+    app_files = [
+        FileEntry(binary_path, float(app.binary_size_kb), executable=True),
+        FileEntry(f"/etc/{app.name}/{app.name}.conf", 4.0),
+    ]
+    if app.binary_size_kb > 4096:
+        app_files.append(
+            FileEntry(f"/usr/lib/{app.name}/modules.so",
+                      app.binary_size_kb * 0.2)
+        )
+    image.add_layer(Layer(name=f"{app.name}-app", files=app_files))
+    return image

@@ -1,0 +1,114 @@
+"""Container slimming: the DockerSlim step of the Lupine pipeline.
+
+The paper (footnote 3) relies on tools like DockerSlim to "help ensure a
+minimal dependency set" in the rootfs.  This module implements that step:
+given a container image and the application manifest, keep only the files
+the unikernel can ever touch -- the entrypoint binary and its library
+chain, the shell needed by the generated startup script, and the app's
+configuration files -- and drop everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.manifest import ApplicationManifest
+from repro.rootfs.container import ContainerImage, FileEntry, Layer
+
+#: Files every Lupine rootfs keeps regardless of the app: the startup
+#: script's interpreter and the dynamic loader/libc chain.
+_ALWAYS_KEEP_PREFIXES: Tuple[str, ...] = (
+    "/lib/",
+    "/bin/sh",
+    "/bin/busybox",
+)
+
+
+@dataclass(frozen=True)
+class SlimReport:
+    """Outcome of slimming one container image."""
+
+    original_files: int
+    kept_files: int
+    original_kb: float
+    kept_kb: float
+
+    @property
+    def dropped_files(self) -> int:
+        return self.original_files - self.kept_files
+
+    @property
+    def size_reduction(self) -> float:
+        if self.original_kb == 0:
+            return 0.0
+        return 1.0 - self.kept_kb / self.original_kb
+
+
+def _is_referenced(
+    path: str,
+    entry: FileEntry,
+    entrypoint_binary: str,
+    app_prefixes: Tuple[str, ...],
+) -> bool:
+    if path == entrypoint_binary:
+        return True
+    if any(path.startswith(prefix) or path == prefix.rstrip("/")
+           for prefix in _ALWAYS_KEEP_PREFIXES):
+        return True
+    if any(path.startswith(prefix) for prefix in app_prefixes):
+        return True
+    if entry.symlink_to is not None:
+        return False  # judged by the target's own referencedness
+    return False
+
+
+def slim_container(
+    image: ContainerImage, manifest: ApplicationManifest
+) -> Tuple[ContainerImage, SlimReport]:
+    """Return a slimmed copy of *image* plus the savings report.
+
+    Symlinks are kept when their targets are kept, so ``/bin/sh ->
+    /bin/busybox`` survives.  ``/etc`` entries for the app itself survive;
+    unrelated distro metadata does not.
+    """
+    entrypoint_binary = (manifest.entrypoint or image.entrypoint or ("",))[0]
+    app_prefixes = (
+        f"/etc/{manifest.app_name}",
+        f"/usr/lib/{manifest.app_name}",
+        f"/var/lib/{manifest.app_name}",
+    )
+    flattened = image.flatten()
+    kept: Dict[str, FileEntry] = {}
+    for path, entry in flattened.items():
+        if entry.symlink_to is not None:
+            continue  # second pass
+        if _is_referenced(path, entry, entrypoint_binary, app_prefixes):
+            kept[path] = entry
+    for path, entry in flattened.items():
+        if entry.symlink_to is not None and entry.symlink_to in kept:
+            kept[path] = entry
+
+    if manifest.needs_network:
+        # The init script needs resolv.conf for name resolution.
+        resolv = flattened.get("/etc/resolv.conf")
+        if resolv is not None:
+            kept[resolv.path] = resolv
+
+    slimmed = ContainerImage(
+        name=f"{image.name}-slim",
+        tag=image.tag,
+        entrypoint=image.entrypoint,
+        env=image.env,
+        working_dir=image.working_dir,
+    )
+    slimmed.add_layer(Layer(name="slim", files=sorted(
+        kept.values(), key=lambda e: e.path
+    )))
+    report = SlimReport(
+        original_files=len(flattened),
+        kept_files=len(kept),
+        original_kb=sum(e.size_kb for e in flattened.values()),
+        kept_kb=sum(e.size_kb for e in kept.values()),
+    )
+    return slimmed, report

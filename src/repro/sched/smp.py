@@ -1,0 +1,72 @@
+"""SMP model: lock and synchronization overhead of CONFIG_SMP.
+
+The paper's Section 5 experiments measure the worst case for SMP support: a
+single-CPU system running context-switch-heavy workloads on a kernel built
+with SMP.  An SMP kernel pays for atomic operations (``lock`` prefixes),
+memory barriers and per-CPU indirection even with one processor online;
+a UP (uniprocessor) build compiles them away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Extra cost of one kernel lock/unlock pair on an SMP build (lock-prefixed
+#: RMW + barriers) relative to the UP build's plain increments.
+SMP_LOCK_PAIR_NS = 12.0
+
+#: Locks taken per context switch (runqueue, wait queue).
+LOCKS_PER_SWITCH = 2
+
+#: Locks taken per futex/semaphore operation (hash bucket, wait queue).
+LOCKS_PER_FUTEX_OP = 2
+
+#: Extra fixed scheduler work per switch on SMP (per-CPU bookkeeping).
+SMP_SWITCH_FIXED_NS = 8.0
+
+#: Speedup factor per extra CPU for parallel builds (sublinear: make -j).
+PARALLEL_EFFICIENCY = 0.85
+
+
+@dataclass(frozen=True)
+class SmpModel:
+    """SMP configuration of a simulated kernel instance."""
+
+    smp_enabled: bool
+    cpus: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ValueError("need at least one CPU")
+        if not self.smp_enabled and self.cpus > 1:
+            raise ValueError("a UP kernel cannot drive multiple CPUs")
+
+    def lock_pair_ns(self) -> float:
+        """Cost of one lock/unlock pair inside the kernel."""
+        return SMP_LOCK_PAIR_NS if self.smp_enabled else 0.0
+
+    def switch_overhead_ns(self) -> float:
+        """Extra context-switch cost attributable to SMP support."""
+        if not self.smp_enabled:
+            return 0.0
+        return SMP_SWITCH_FIXED_NS + LOCKS_PER_SWITCH * SMP_LOCK_PAIR_NS
+
+    def futex_overhead_ns(self) -> float:
+        """Extra futex/sem operation cost attributable to SMP support."""
+        if not self.smp_enabled:
+            return 0.0
+        return LOCKS_PER_FUTEX_OP * SMP_LOCK_PAIR_NS
+
+    def parallel_speedup(self, jobs: int) -> float:
+        """Wall-clock speedup of a *jobs*-way parallel workload.
+
+        Building Linux with one processor "takes almost twice as long as
+        with two processors" (Section 5); efficiency decays geometrically.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        usable = min(jobs, self.cpus)
+        speedup = 0.0
+        for cpu_index in range(usable):
+            speedup += PARALLEL_EFFICIENCY ** cpu_index
+        return speedup

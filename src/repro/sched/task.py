@@ -1,0 +1,49 @@
+"""Task model: processes and threads."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TaskKind(enum.Enum):
+    PROCESS = "process"
+    THREAD = "thread"
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    ZOMBIE = "zombie"
+
+
+@dataclass
+class Task:
+    """One schedulable entity.
+
+    ``address_space_id`` is shared between threads of a process and unique
+    per process; the scheduler uses it to decide whether a switch crosses
+    address spaces (the distinction Figure 12 measures).  ``kernel_mode``
+    marks KML kernel-mode processes: they are ordinary tasks (paging and
+    scheduling apply), only their syscall entry differs (Section 3.2).
+    """
+
+    pid: int
+    name: str
+    kind: TaskKind
+    address_space_id: int
+    parent_pid: Optional[int] = None
+    state: TaskState = TaskState.READY
+    kernel_mode: bool = False
+    working_set_kb: int = 0
+    exit_code: Optional[int] = None
+    vruntime_ns: float = field(default=0.0)
+
+    @property
+    def alive(self) -> bool:
+        return self.state is not TaskState.ZOMBIE
+
+    def __str__(self) -> str:
+        return f"<Task {self.pid} {self.name} {self.kind.value} {self.state.value}>"

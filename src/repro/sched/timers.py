@@ -1,0 +1,158 @@
+"""A hierarchical timer wheel, as the kernel's timer subsystem uses.
+
+Backs the simulated kernel's timeout machinery: ``timerfd`` deadlines,
+scheduler sleep timeouts, TCP retransmission/TIME_WAIT timers.  The wheel
+gives O(1) arm/cancel and amortized O(1) advance -- the structure behind
+``CONFIG_HZ``'s tick choices (the 100/250/1000 Hz choice group in the
+option database sets the wheel's tick length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Slots per wheel level (the kernel uses 64 for upper levels).
+WHEEL_SLOTS = 64
+#: Number of cascading levels; each level covers SLOTS^level ticks.
+WHEEL_LEVELS = 4
+
+
+class TimerError(RuntimeError):
+    """Invalid timer operations (re-arming an armed timer, ...)."""
+
+
+@dataclass
+class Timer:
+    """One armed timer."""
+
+    timer_id: int
+    expires_tick: int
+    callback: Optional[Callable[[], None]] = None
+    cancelled: bool = False
+    fired: bool = False
+
+
+@dataclass
+class TimerWheel:
+    """The hierarchical wheel for one simulated kernel.
+
+    ``hz`` sets tick granularity: with HZ=250 a tick is 4 ms.  Timers are
+    placed by tick distance; far-future timers live in outer levels and
+    cascade inward as time advances.
+    """
+
+    hz: int = 250
+    current_tick: int = 0
+    _levels: List[Dict[int, List[Timer]]] = field(
+        default_factory=lambda: [dict() for _ in range(WHEEL_LEVELS)]
+    )
+    _timers: Dict[int, Timer] = field(default_factory=dict)
+    _next_id: int = 1
+    fired_count: int = 0
+    cascade_count: int = 0
+
+    @property
+    def tick_ns(self) -> float:
+        return 1e9 / self.hz
+
+    # -- arming/cancelling ---------------------------------------------------
+
+    def arm_after_ticks(self, ticks: int,
+                        callback: Optional[Callable[[], None]] = None) -> Timer:
+        if ticks < 1:
+            raise TimerError("timers must expire at least one tick out")
+        timer = Timer(
+            timer_id=self._next_id,
+            expires_tick=self.current_tick + ticks,
+            callback=callback,
+        )
+        self._next_id += 1
+        self._timers[timer.timer_id] = timer
+        self._place(timer)
+        return timer
+
+    def arm_after_ns(self, delay_ns: float,
+                     callback: Optional[Callable[[], None]] = None) -> Timer:
+        """Arm by wall delay; rounds up to the next tick (HZ granularity)."""
+        ticks = max(1, int(-(-delay_ns // self.tick_ns)))
+        return self.arm_after_ticks(ticks, callback)
+
+    def cancel(self, timer: Timer) -> bool:
+        """Cancel; returns False if it already fired or was cancelled."""
+        if timer.fired or timer.cancelled:
+            return False
+        timer.cancelled = True
+        self._timers.pop(timer.timer_id, None)
+        return True
+
+    # -- advancing time --------------------------------------------------------
+
+    def advance(self, ticks: int) -> List[Timer]:
+        """Advance the wheel, firing due timers in expiry order."""
+        if ticks < 0:
+            raise TimerError("time does not go backwards")
+        fired: List[Timer] = []
+        for _ in range(ticks):
+            self.current_tick += 1
+            fired.extend(self._expire_slot())
+        return fired
+
+    def advance_ns(self, duration_ns: float) -> List[Timer]:
+        return self.advance(int(duration_ns // self.tick_ns))
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._timers)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _level_for(self, distance: int) -> int:
+        level = 0
+        span = WHEEL_SLOTS
+        while distance >= span and level < WHEEL_LEVELS - 1:
+            level += 1
+            span *= WHEEL_SLOTS
+        return level
+
+    def _place(self, timer: Timer) -> None:
+        distance = timer.expires_tick - self.current_tick
+        level = self._level_for(distance)
+        slot = (timer.expires_tick // (WHEEL_SLOTS ** level)) % WHEEL_SLOTS
+        self._levels[level].setdefault(slot, []).append(timer)
+
+    def _expire_slot(self) -> List[Timer]:
+        fired: List[Timer] = []
+        slot = self.current_tick % WHEEL_SLOTS
+        bucket = self._levels[0].pop(slot, [])
+        for timer in bucket:
+            if timer.cancelled:
+                continue
+            if timer.expires_tick > self.current_tick:
+                self._place(timer)  # re-place (wrapped around)
+                continue
+            timer.fired = True
+            self._timers.pop(timer.timer_id, None)
+            self.fired_count += 1
+            if timer.callback is not None:
+                timer.callback()
+            fired.append(timer)
+        # Cascade outer levels when their boundary is crossed.
+        for level in range(1, WHEEL_LEVELS):
+            span = WHEEL_SLOTS ** level
+            if self.current_tick % span:
+                break
+            outer_slot = (self.current_tick // span) % WHEEL_SLOTS
+            for timer in self._levels[level].pop(outer_slot, []):
+                if not timer.cancelled:
+                    self.cascade_count += 1
+                    if timer.expires_tick <= self.current_tick:
+                        timer.fired = True
+                        self._timers.pop(timer.timer_id, None)
+                        self.fired_count += 1
+                        if timer.callback is not None:
+                            timer.callback()
+                        fired.append(timer)
+                    else:
+                        self._place(timer)
+        return fired

@@ -1,0 +1,115 @@
+"""Structural self-checks: the paper-exact invariants, verifiable anywhere.
+
+``repro-lupine selfcheck`` runs these after an install or a modification to
+the option data, confirming the counts the whole reproduction rests on.
+Each check returns (name, passed, detail); the CLI prints them and exits
+non-zero if any fail.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+CheckResult = Tuple[str, bool, str]
+
+
+def _check_tree_total() -> CheckResult:
+    from repro.kconfig.database import build_linux_tree
+
+    total = len(build_linux_tree())
+    return ("Linux 4.0 option total", total == 15953, f"{total} (want 15953)")
+
+
+def _check_config_counts() -> CheckResult:
+    from repro.kconfig.configs import lupine_base_config, microvm_config
+
+    microvm = len(microvm_config().enabled)
+    base = len(lupine_base_config().enabled)
+    ok = (microvm, base) == (833, 283)
+    return ("microVM/lupine-base counts", ok,
+            f"{microvm}/{base} (want 833/283)")
+
+
+def _check_category_split() -> CheckResult:
+    from repro.core.classification import classify_microvm_options
+
+    counts = classify_microvm_options().category_counts()
+    ok = counts == {"app": 311, "mp": 89, "hw": 150}
+    return ("Figure 4 category split", ok, str(counts))
+
+
+def _check_no_undefined_references() -> CheckResult:
+    from repro.kconfig.database import build_linux_tree
+
+    undefined = build_linux_tree().undefined_references()
+    return ("dependency graph closed", not undefined,
+            f"{len(undefined)} dangling references")
+
+
+def _check_resolution_clean() -> CheckResult:
+    from repro.kconfig.configs import microvm_config
+
+    config = microvm_config()
+    ok = not config.demoted and not config.select_violations
+    return ("microVM resolves without demotions", ok,
+            f"{len(config.demoted)} demoted, "
+            f"{len(config.select_violations)} violations")
+
+
+def _check_table3() -> CheckResult:
+    from repro.apps.registry import TOP20_APPS
+
+    expected = (13, 10, 13, 5, 10, 11, 9, 8, 10, 0, 13, 0, 0, 0, 12, 0, 9,
+                8, 11, 12)
+    actual = tuple(app.option_count for app in TOP20_APPS)
+    return ("Table 3 per-app option counts", actual == expected, str(actual))
+
+
+def _check_union() -> CheckResult:
+    from repro.apps.registry import lupine_general_option_union
+
+    union = len(lupine_general_option_union())
+    return ("lupine-general union", union == 19, f"{union} (want 19)")
+
+
+def _check_manifest_roundtrip() -> CheckResult:
+    from repro.apps.registry import TOP20_APPS
+    from repro.core.manifest import derive_options, generate_manifest
+
+    bad = [
+        app.name
+        for app in TOP20_APPS
+        if derive_options(generate_manifest(app)) != app.required_options
+    ]
+    return ("manifest derivation matches Table 3", not bad, ", ".join(bad)
+            or "all 20 apps")
+
+
+def _check_table1() -> CheckResult:
+    from repro.experiments.table1_syscall_options import run
+
+    rows = run()
+    ok = len(rows) == 12 and rows["FILE_LOCKING"] == ("flock",)
+    return ("Table 1 syscall gating", ok, f"{len(rows)} rows")
+
+
+ALL_CHECKS: List[Callable[[], CheckResult]] = [
+    _check_tree_total,
+    _check_config_counts,
+    _check_category_split,
+    _check_no_undefined_references,
+    _check_resolution_clean,
+    _check_table3,
+    _check_union,
+    _check_manifest_roundtrip,
+    _check_table1,
+]
+
+
+def run_selfcheck() -> List[CheckResult]:
+    """Run every structural check."""
+    return [check() for check in ALL_CHECKS]
+
+
+def all_passed(results: List[CheckResult]) -> bool:
+    return all(passed for _, passed, _ in results)

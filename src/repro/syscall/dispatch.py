@@ -1,0 +1,149 @@
+"""Syscall dispatch: resolve a syscall against a kernel config and charge time.
+
+The :class:`SyscallEngine` is the meeting point of the three things that
+determine syscall latency in the paper:
+
+1. which syscalls are compiled in (config gating, Table 1) -- calling a
+   compiled-out syscall returns ``ENOSYS``, which is exactly the
+   "function not implemented" failure mode used to derive per-app configs;
+2. the entry mechanism (``syscall`` vs KML ``call``); and
+3. config-dependent per-syscall overheads (audit, seccomp, debug options).
+
+The engine is deterministic: no wall clock; simulated nanoseconds accumulate
+on an internal counter.  A small deterministic jitter (derived from the call
+sequence number) models measurement noise without breaking reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.syscall.cpu import CpuCostModel, EntryMechanism
+from repro.syscall.table import SYSCALLS, Syscall
+
+
+class SyscallError(Exception):
+    """Base class for simulated syscall failures."""
+
+    errno_name = "EINVAL"
+
+
+class SyscallNotImplemented(SyscallError):
+    """ENOSYS: the syscall is not compiled into this kernel.
+
+    Carries the gating option so callers (and the manifest-derivation loop
+    of Section 4.1) can report *which* option is missing, mirroring error
+    messages like "the futex facility returned an unexpected error code".
+    """
+
+    errno_name = "ENOSYS"
+
+    def __init__(self, syscall_name: str, missing_option: Optional[str]):
+        self.syscall_name = syscall_name
+        self.missing_option = missing_option
+        hint = (
+            f" (enable CONFIG_{missing_option})" if missing_option else ""
+        )
+        super().__init__(f"{syscall_name}: function not implemented{hint}")
+
+
+@dataclass
+class SyscallResult:
+    """Outcome of one simulated syscall."""
+
+    name: str
+    latency_ns: float
+    value: int = 0
+
+
+@dataclass
+class SyscallEngine:
+    """Dispatches simulated syscalls for one kernel instance.
+
+    ``enabled_options`` comes from a resolved config; ``cost_model`` from
+    :class:`~repro.syscall.cpu.CpuCostModel`.  The engine counts calls and
+    accumulates simulated time, which the lmbench and workload layers read.
+    """
+
+    enabled_options: FrozenSet[str]
+    cost_model: CpuCostModel
+    clock_ns: float = 0.0
+    call_count: int = 0
+    per_syscall_counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def for_config(
+        cls,
+        enabled_options: Iterable[str],
+        entry: EntryMechanism = EntryMechanism.SYSCALL,
+        kpti: bool = False,
+        size_optimized: bool = False,
+    ) -> "SyscallEngine":
+        enabled = frozenset(enabled_options)
+        return cls(
+            enabled_options=enabled,
+            cost_model=CpuCostModel.for_options(
+                enabled, entry=entry, kpti=kpti, size_optimized=size_optimized
+            ),
+        )
+
+    # -- availability ------------------------------------------------------
+
+    def lookup(self, name: str) -> Syscall:
+        """Resolve *name*; raise :class:`SyscallNotImplemented` if gated out."""
+        syscall = SYSCALLS.get(name)
+        if syscall is None:
+            raise SyscallNotImplemented(name, None)
+        if syscall.option is not None and syscall.option not in self.enabled_options:
+            raise SyscallNotImplemented(name, syscall.option)
+        return syscall
+
+    def supports(self, name: str) -> bool:
+        try:
+            self.lookup(name)
+        except SyscallNotImplemented:
+            return False
+        return True
+
+    # -- invocation --------------------------------------------------------
+
+    def invoke(self, name: str, work_ns: float = 0.0) -> SyscallResult:
+        """Invoke syscall *name*, charging entry + handler + *work_ns*.
+
+        *work_ns* models data-dependent handler work (e.g. copied bytes).
+        """
+        syscall = self.lookup(name)
+        latency = self.cost_model.syscall_ns(
+            syscall.handler_ns + work_ns, syscall.data_path
+        )
+        latency += self._jitter()
+        self.clock_ns += latency
+        self.call_count += 1
+        self.per_syscall_counts[name] = self.per_syscall_counts.get(name, 0) + 1
+        return SyscallResult(name=name, latency_ns=latency)
+
+    def latency_ns(self, name: str, work_ns: float = 0.0) -> float:
+        """Latency of *name* without mutating engine state (no jitter)."""
+        syscall = self.lookup(name)
+        return self.cost_model.syscall_ns(
+            syscall.handler_ns + work_ns, syscall.data_path
+        )
+
+    def cpu_work(self, duration_ns: float) -> None:
+        """Charge userspace CPU time (busy-wait loops in Figure 10)."""
+        if duration_ns < 0:
+            raise ValueError("cannot perform negative work")
+        self.clock_ns += duration_ns
+
+    def _jitter(self) -> float:
+        # +/-1.5% deterministic jitter keyed on the call sequence number.
+        phase = (self.call_count * 2654435761) % 1000
+        return ((phase / 1000.0) - 0.5) * 0.03 * self.cost_model.entry.entry_ns
+
+    # -- reporting ---------------------------------------------------------
+
+    def reset_clock(self) -> None:
+        self.clock_ns = 0.0
+        self.call_count = 0
+        self.per_syscall_counts.clear()

@@ -1,0 +1,339 @@
+"""lmbench-style micro-benchmarks over the simulated kernel.
+
+Implements the measurements of Figure 9 (null/read/write latency), Figure 10
+(KML amortization), and the full suite of Appendix A Table 5 (process
+latencies, context switching, local communication, file & VM latencies,
+bandwidths).  Each benchmark runs the workload's real syscall sequence
+through a :class:`~repro.syscall.dispatch.SyscallEngine`, so configuration
+effects (gating, hooks, KML entry, KPTI, -Os) show up organically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.syscall.dispatch import SyscallEngine
+
+#: Memory copy bandwidth of the simulated machine (bytes per simulated ns).
+MEM_COPY_BYTES_PER_NS = 12.0
+
+#: Cache refill cost per KiB of working set after a context switch.
+CACHE_REFILL_NS_PER_KB = 9.0
+
+#: Per-process runqueue crowding cost once more processes than cache room.
+CROWDING_NS_PER_PROC = 3.0
+
+_DEFAULT_ITERATIONS = 200
+
+
+@dataclass
+class LatencyResult:
+    """A single lmbench latency figure, in microseconds."""
+
+    name: str
+    microseconds: float
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.microseconds:.4f} us"
+
+
+@dataclass
+class LmbenchReport:
+    """The full lmbench suite output for one system (Table 5 layout)."""
+
+    system: str
+    latencies_us: Dict[str, float] = field(default_factory=dict)
+    bandwidths_mb_s: Dict[str, float] = field(default_factory=dict)
+
+    def row(self, name: str) -> float:
+        if name in self.latencies_us:
+            return self.latencies_us[name]
+        return self.bandwidths_mb_s[name]
+
+
+def _mean_latency_us(engine: SyscallEngine, names, work_ns=0.0,
+                     iterations: int = _DEFAULT_ITERATIONS) -> float:
+    """Average latency (us) of issuing each syscall in *names* per iteration."""
+    start_clock, start_calls = engine.clock_ns, engine.call_count
+    for _ in range(iterations):
+        for name in names:
+            engine.invoke(name, work_ns=work_ns)
+    elapsed = engine.clock_ns - start_clock
+    return elapsed / iterations / 1000.0
+
+
+# -- Figure 9 ---------------------------------------------------------------
+
+def null_latency_us(engine: SyscallEngine) -> float:
+    """The lmbench 'null' syscall test (getppid)."""
+    return _mean_latency_us(engine, ["getppid"])
+
+
+def read_latency_us(engine: SyscallEngine) -> float:
+    """read of one byte from /dev/zero."""
+    return _mean_latency_us(engine, ["read"])
+
+
+def write_latency_us(engine: SyscallEngine) -> float:
+    """write of one byte to /dev/null."""
+    return _mean_latency_us(engine, ["write"])
+
+
+# -- Figure 10 ---------------------------------------------------------------
+
+#: Simulated cost of one busy-wait loop iteration (ns).
+BUSY_WAIT_ITERATION_NS = 1.5
+
+
+def null_with_busywait_us(engine: SyscallEngine, busy_iterations: int,
+                          iterations: int = _DEFAULT_ITERATIONS) -> float:
+    """Mean time (us) of one getppid + *busy_iterations* of CPU work.
+
+    This is the paper's Figure 10 microbenchmark: as the busy work grows,
+    the KML entry-cost saving is amortized away.
+    """
+    start = engine.clock_ns
+    for _ in range(iterations):
+        engine.invoke("getppid")
+        engine.cpu_work(busy_iterations * BUSY_WAIT_ITERATION_NS)
+    return (engine.clock_ns - start) / iterations / 1000.0
+
+
+def kml_improvement(kml_engine: SyscallEngine, nokml_engine: SyscallEngine,
+                    busy_iterations: int) -> float:
+    """Fractional KML latency improvement at a given busy-wait length."""
+    kml = null_with_busywait_us(kml_engine, busy_iterations)
+    nokml = null_with_busywait_us(nokml_engine, busy_iterations)
+    return 1.0 - (kml / nokml)
+
+
+# -- context switching (Table 5 middle section) ------------------------------
+
+def context_switch_us(engine: SyscallEngine, processes: int, size_kb: int,
+                      same_address_space: bool = False) -> float:
+    """lmbench lat_ctx: *processes* passing a token, each touching size_kb.
+
+    Cost per switch = scheduler switch cost + cache refill of the working
+    set (partial: with few processes some cache survives) + crowding.
+    """
+    if processes < 2:
+        raise ValueError("lat_ctx needs at least 2 processes")
+    switch = engine.cost_model.context_switch_ns(same_address_space)
+    # With 2 processes half the working set survives in cache; with many,
+    # nearly none does.
+    survival = max(0.0, 1.0 - processes / 16.0)
+    refill = size_kb * CACHE_REFILL_NS_PER_KB * (1.0 - survival)
+    crowding = CROWDING_NS_PER_PROC * processes
+    return (switch + refill + crowding) / 1000.0
+
+
+# -- local communication ------------------------------------------------------
+
+def pipe_latency_us(engine: SyscallEngine) -> float:
+    """Round-trip of a 1-byte token through a pipe between two processes."""
+    write = engine.latency_ns("write")
+    read = engine.latency_ns("read")
+    switch = engine.cost_model.context_switch_ns(same_address_space=False)
+    return 2.0 * (write + read + switch) / 2.0 / 1000.0
+
+
+def af_unix_latency_us(engine: SyscallEngine) -> float:
+    send = engine.latency_ns("sendto", work_ns=40.0)
+    recv = engine.latency_ns("recvfrom", work_ns=40.0)
+    switch = engine.cost_model.context_switch_ns(same_address_space=False)
+    return (send + recv + switch) / 1000.0
+
+
+def udp_latency_us(engine: SyscallEngine, stack_ns: float) -> float:
+    """UDP round trip over loopback; *stack_ns* is the per-packet net path."""
+    send = engine.latency_ns("sendto", work_ns=60.0)
+    recv = engine.latency_ns("recvfrom", work_ns=60.0)
+    switch = engine.cost_model.context_switch_ns(same_address_space=False)
+    return (send + recv + 2.0 * stack_ns + switch) / 1000.0
+
+
+def tcp_latency_us(engine: SyscallEngine, stack_ns: float) -> float:
+    send = engine.latency_ns("write", work_ns=80.0)
+    recv = engine.latency_ns("read", work_ns=80.0)
+    switch = engine.cost_model.context_switch_ns(same_address_space=False)
+    return (send + recv + 2.0 * (stack_ns * 1.25) + switch) / 1000.0
+
+
+def tcp_connect_latency_us(engine: SyscallEngine, stack_ns: float) -> float:
+    """TCP connection establishment (3-way handshake = 3 stack traversals)."""
+    connect = engine.latency_ns("connect")
+    accept = engine.latency_ns("accept")
+    close = engine.latency_ns("close")
+    return (connect + accept + close + 3.0 * stack_ns * 1.6) / 1000.0
+
+
+# -- process tests -------------------------------------------------------------
+
+def fork_latency_us(engine: SyscallEngine) -> float:
+    return (engine.latency_ns("fork") + engine.latency_ns("exit")
+            + engine.latency_ns("wait4")) / 1000.0 * 18.0
+
+
+def exec_latency_us(engine: SyscallEngine) -> float:
+    return fork_latency_us(engine) + engine.latency_ns("execve") / 1000.0 * 25.0
+
+
+def sh_latency_us(engine: SyscallEngine) -> float:
+    # /bin/sh -c doubles the fork+exec and adds shell startup parsing.
+    return 2.1 * exec_latency_us(engine) + 45.0
+
+
+def sig_install_us(engine: SyscallEngine) -> float:
+    return _mean_latency_us(engine, ["rt_sigaction"])
+
+
+def sig_handle_us(engine: SyscallEngine) -> float:
+    kill = engine.latency_ns("kill")
+    sigreturn = engine.latency_ns("rt_sigreturn")
+    delivery = engine.cost_model.entry_exit_ns() * 2.0
+    return (kill + sigreturn + delivery) / 1000.0
+
+
+def select_tcp_us(engine: SyscallEngine, fds: int = 100) -> float:
+    return (engine.latency_ns("select", work_ns=9.0 * fds)) / 1000.0
+
+
+def stat_latency_us(engine: SyscallEngine) -> float:
+    return _mean_latency_us(engine, ["stat"], work_ns=120.0)
+
+
+def open_close_latency_us(engine: SyscallEngine) -> float:
+    return _mean_latency_us(engine, ["open", "close"], work_ns=110.0)
+
+
+# -- file & VM ------------------------------------------------------------------
+
+def file_create_us(engine: SyscallEngine, size_kb: int) -> float:
+    create = engine.latency_ns("creat", work_ns=400.0)
+    writes = size_kb * 1024.0 / MEM_COPY_BYTES_PER_NS
+    write_calls = max(1, size_kb // 4)
+    per_write = engine.latency_ns("write", work_ns=90.0)
+    close = engine.latency_ns("close")
+    return (create + writes + write_calls * per_write + close) / 1000.0
+
+
+def file_delete_us(engine: SyscallEngine, size_kb: int) -> float:
+    return (engine.latency_ns("unlink", work_ns=250.0 + 10.0 * size_kb)) / 1000.0
+
+
+def mmap_latency_us(engine: SyscallEngine, size_mb: int = 8) -> float:
+    per_page = 75.0  # page-table population per 4 KiB page
+    pages = size_mb * 256
+    return (engine.latency_ns("mmap") + pages * per_page) / 1000.0
+
+
+def prot_fault_us(engine: SyscallEngine) -> float:
+    return (engine.cost_model.entry_exit_ns() + 180.0) / 1000.0
+
+
+def page_fault_us(engine: SyscallEngine) -> float:
+    fault = engine.cost_model.entry_exit_ns() + 45.0
+    if engine.cost_model.data_path_hook_ns:
+        fault += engine.cost_model.data_path_hook_ns
+    return fault / 1000.0
+
+
+# -- bandwidths -------------------------------------------------------------------
+
+def _stream_bandwidth_mb_s(engine: SyscallEngine, syscall_pair, chunk_kb: int,
+                           copy_passes: float) -> float:
+    """Bandwidth of a read/write style loop moving chunk_kb per iteration."""
+    chunk_bytes = chunk_kb * 1024.0
+    copy_ns = copy_passes * chunk_bytes / MEM_COPY_BYTES_PER_NS
+    syscall_ns = sum(
+        engine.latency_ns(name, work_ns=engine.cost_model.data_path_hook_ns
+                          * (chunk_kb / 4.0))
+        for name in syscall_pair
+    )
+    total_ns = copy_ns + syscall_ns
+    return chunk_bytes / total_ns * 1000.0  # bytes/ns -> MB/s
+
+
+def pipe_bandwidth_mb_s(engine: SyscallEngine) -> float:
+    return _stream_bandwidth_mb_s(engine, ("write", "read"), 64, 2.0)
+
+
+def af_unix_bandwidth_mb_s(engine: SyscallEngine) -> float:
+    return _stream_bandwidth_mb_s(engine, ("sendto", "recvfrom"), 64, 1.8)
+
+
+def tcp_bandwidth_mb_s(engine: SyscallEngine, stack_ns: float) -> float:
+    chunk_bytes = 64 * 1024.0
+    copy_ns = 2.0 * chunk_bytes / MEM_COPY_BYTES_PER_NS
+    packets = chunk_bytes / 1448.0
+    net_ns = packets * stack_ns * 0.35  # segmentation offload amortizes
+    sys_ns = engine.latency_ns("write") + engine.latency_ns("read")
+    return chunk_bytes / (copy_ns + net_ns + sys_ns) * 1000.0
+
+
+def file_reread_mb_s(engine: SyscallEngine) -> float:
+    return _stream_bandwidth_mb_s(engine, ("read",), 64, 1.7)
+
+
+def mmap_reread_mb_s(engine: SyscallEngine) -> float:
+    return MEM_COPY_BYTES_PER_NS * 1000.0 * 1.35
+
+
+def bcopy_mb_s(engine: SyscallEngine, hand: bool = False) -> float:
+    factor = 0.75 if hand else 1.05
+    return MEM_COPY_BYTES_PER_NS * 1000.0 * factor
+
+
+def mem_read_mb_s(engine: SyscallEngine) -> float:
+    return MEM_COPY_BYTES_PER_NS * 1000.0 * 1.28
+
+
+def mem_write_mb_s(engine: SyscallEngine) -> float:
+    return MEM_COPY_BYTES_PER_NS * 1000.0 * 1.01
+
+
+# -- full suite --------------------------------------------------------------------
+
+def run_suite(engine: SyscallEngine, system: str,
+              net_stack_ns: float) -> LmbenchReport:
+    """Run the full Table 5 suite against one simulated kernel."""
+    report = LmbenchReport(system=system)
+    lat = report.latencies_us
+    lat["null call"] = null_latency_us(engine)
+    lat["null I/O"] = 0.5 * (read_latency_us(engine) + write_latency_us(engine))
+    lat["stat"] = stat_latency_us(engine)
+    lat["open clos"] = open_close_latency_us(engine)
+    lat["slct TCP"] = select_tcp_us(engine)
+    lat["sig inst"] = sig_install_us(engine)
+    lat["sig hndl"] = sig_handle_us(engine)
+    lat["fork proc"] = fork_latency_us(engine)
+    lat["exec proc"] = exec_latency_us(engine)
+    lat["sh proc"] = sh_latency_us(engine)
+    for procs, size in ((2, 0), (2, 16), (2, 64), (8, 16), (8, 64), (16, 16),
+                        (16, 64)):
+        lat[f"{procs}p/{size}K ctxsw"] = context_switch_us(engine, procs, size)
+    lat["Pipe"] = pipe_latency_us(engine)
+    lat["AF UNIX"] = af_unix_latency_us(engine)
+    lat["UDP"] = udp_latency_us(engine, net_stack_ns)
+    lat["TCP"] = tcp_latency_us(engine, net_stack_ns)
+    lat["TCP conn"] = tcp_connect_latency_us(engine, net_stack_ns)
+    lat["0K Create"] = file_create_us(engine, 0)
+    lat["0K Delete"] = file_delete_us(engine, 0)
+    lat["10K Create"] = file_create_us(engine, 10)
+    lat["10K Delete"] = file_delete_us(engine, 10)
+    lat["Mmap Latency"] = mmap_latency_us(engine)
+    lat["Prot Fault"] = prot_fault_us(engine)
+    lat["Page Fault"] = page_fault_us(engine)
+    lat["100fd selct"] = select_tcp_us(engine, fds=100) * 0.8
+    bw = report.bandwidths_mb_s
+    bw["Pipe"] = pipe_bandwidth_mb_s(engine)
+    bw["AF UNIX"] = af_unix_bandwidth_mb_s(engine)
+    bw["TCP"] = tcp_bandwidth_mb_s(engine, net_stack_ns)
+    bw["File reread"] = file_reread_mb_s(engine)
+    bw["Mmap reread"] = mmap_reread_mb_s(engine)
+    bw["Bcopy (libc)"] = bcopy_mb_s(engine)
+    bw["Bcopy (hand)"] = bcopy_mb_s(engine, hand=True)
+    bw["Mem read"] = mem_read_mb_s(engine)
+    bw["Mem write"] = mem_write_mb_s(engine)
+    return report

@@ -1,0 +1,72 @@
+"""strace-style trace formatting and parsing.
+
+Renders a :class:`~repro.core.tracing.SyscallTrace` the way ``strace -c``
+and plain ``strace`` do, and parses plain traces back -- so manifests can
+be derived from trace files captured elsewhere (the interchange format for
+the paper's dynamic-analysis tooling ecosystem: DockerSlim, Twistlock).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Tuple
+
+from repro.syscall.table import SYSCALLS
+
+_LINE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\((?P<args>[^)]*)\)\s*=\s*"
+    r"(?P<ret>-?\d+|\?)"
+)
+
+
+def format_trace(events: Iterable[str]) -> str:
+    """Render events as plain strace lines (zero return values)."""
+    lines = []
+    for name in events:
+        lines.append(f"{name}() = 0")
+    return "\n".join(lines) + "\n"
+
+
+def format_summary(counts: dict, total_ns: float = 0.0) -> str:
+    """Render an ``strace -c`` style summary table."""
+    total_calls = sum(counts.values()) or 1
+    header = f"{'% time':>7} {'calls':>9}  syscall"
+    lines = [header, "-" * len(header)]
+    for name, count in sorted(counts.items(), key=lambda item: -item[1]):
+        share = 100.0 * count / total_calls
+        lines.append(f"{share:>6.2f}% {count:>9}  {name}")
+    lines.append("-" * len(header))
+    lines.append(f"{'100.00%':>7} {total_calls:>9}  total")
+    return "\n".join(lines)
+
+
+def parse_trace(text: str, strict: bool = False) -> List[str]:
+    """Parse plain strace output into an ordered syscall list.
+
+    Lines that do not look like syscalls (signal deliveries, resumptions,
+    exit notices) are skipped.  Unknown syscall names are skipped too
+    unless *strict*, in which case they raise -- useful for catching
+    typos in hand-written trace fixtures.
+    """
+    events: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(("+++", "---")):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            continue
+        name = match.group("name")
+        if name not in SYSCALLS:
+            if strict:
+                raise ValueError(f"unknown syscall in trace: {name!r}")
+            continue
+        events.append(name)
+    return events
+
+
+def roundtrip(events: Iterable[str]) -> Tuple[List[str], bool]:
+    """Format then parse; returns (parsed, lossless?)."""
+    events = list(events)
+    parsed = parse_trace(format_trace(events))
+    return parsed, parsed == events

@@ -1,0 +1,28 @@
+"""Comparator unikernels: OSv, HermiTux, Rumprun.
+
+The paper uses these as black-box comparison targets; we model their
+*documented and observed* behaviours: curated application lists (most apps
+simply cannot run), crashes on fork, implementation quirks (OSv's hardcoded
+``getppid``, its zfs boot cost and allocator behaviour; Rumprun's static
+linking and NetBSD stack characteristics; HermiTux's uhyve monitor).
+"""
+
+from repro.unikernels.base import (
+    AppNotSupported,
+    Unikernel,
+    UnikernelCrash,
+    UnikernelError,
+)
+from repro.unikernels.hermitux import HermiTux
+from repro.unikernels.osv import OSv
+from repro.unikernels.rump import Rumprun
+
+__all__ = [
+    "AppNotSupported",
+    "HermiTux",
+    "OSv",
+    "Rumprun",
+    "Unikernel",
+    "UnikernelCrash",
+    "UnikernelError",
+]

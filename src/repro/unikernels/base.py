@@ -1,0 +1,187 @@
+"""Common unikernel machinery.
+
+A :class:`Unikernel` exposes the same measurement surface as a Lupine/
+microVM build -- image size, boot, footprint, lmbench, request costs -- but
+with the POSIX-like unikernel restrictions the paper studies:
+
+- only curated applications run (Section 4: "we were severely limited in
+  the choice of applications by what the various unikernels could run");
+- ``fork`` crashes or corrupts state instead of working (Section 5);
+- a single virtual CPU, a single address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional
+
+from repro.apps.app import Application
+from repro.boot.bootsim import BootReport
+from repro.boot.phases import BootPhase
+from repro.vmm.monitor import Monitor
+from repro.workloads.server import RequestProfile
+
+
+class UnikernelError(RuntimeError):
+    """Base class for unikernel failures."""
+
+
+class AppNotSupported(UnikernelError):
+    """The application is not on the unikernel's curated list."""
+
+
+class UnikernelCrash(UnikernelError):
+    """The guest crashed (e.g. fork on a stubbed-out implementation)."""
+
+
+@dataclass(frozen=True)
+class UnikernelWorkloadQuirk:
+    """A documented per-workload behaviour (penalty or discount)."""
+
+    extra_ns: float = 0.0
+    handshake_factor: float = 1.0
+    note: str = ""
+
+
+@dataclass
+class Unikernel:
+    """One comparator unikernel."""
+
+    name: str
+    monitor: Monitor
+    curated_apps: FrozenSet[str]
+    statically_linked: bool
+    image_base_mb: float
+    app_image_extra_mb: Mapping[str, float]
+    boot_phases_ms: Mapping[BootPhase, float]
+    footprint_mb: Mapping[str, float]
+    syscall_entry_ns: float
+    lmbench_handler_ns: Mapping[str, float]
+    packet_ns: float
+    app_work_factor: float = 1.0
+    supports_fork: bool = False
+    workload_quirks: Mapping[str, UnikernelWorkloadQuirk] = field(
+        default_factory=dict
+    )
+    fork_behaviour: str = "crash"
+
+    # -- application compatibility ----------------------------------------
+
+    def check_app(self, app: Application) -> None:
+        """Raise unless *app* is on the curated list."""
+        if app.name not in self.curated_apps:
+            raise AppNotSupported(
+                f"{self.name} cannot run {app.name}: not on the curated "
+                f"application list {sorted(self.curated_apps)}"
+            )
+
+    def can_run(self, app: Application) -> bool:
+        return app.name in self.curated_apps
+
+    def run_app(self, app: Application) -> "UnikernelInstance":
+        self.check_app(app)
+        if app.uses_fork_at_startup:
+            raise UnikernelCrash(
+                f"{self.name}: {app.name} forks at startup; "
+                f"fork behaviour is '{self.fork_behaviour}'"
+            )
+        return UnikernelInstance(unikernel=self, app=app)
+
+    # -- Figure 6: image size ------------------------------------------------
+
+    def image_size_mb(self, app: Optional[Application] = None) -> float:
+        extra = 0.0
+        if app is not None:
+            extra = self.app_image_extra_mb.get(app.name, 0.6)
+            if self.statically_linked:
+                # Rump-style unikernels link the app and its libraries into
+                # the kernel image itself.
+                extra += app.binary_size_kb / 1024.0
+        return self.image_base_mb + extra
+
+    # -- Figure 7: boot -------------------------------------------------------
+
+    def boot_report(self) -> BootReport:
+        report = BootReport(system=self.name)
+        report.phases_ms.update(self.boot_phases_ms)
+        report.phases_ms[BootPhase.MONITOR_SETUP] = self.monitor.setup_ms
+        return report
+
+    # -- Figure 8: memory footprint ---------------------------------------------
+
+    def min_memory_mb(self, app: Application) -> int:
+        self.check_app(app)
+        try:
+            return int(round(self.footprint_mb[app.name]))
+        except KeyError:
+            raise AppNotSupported(
+                f"{self.name}: no footprint model for {app.name}"
+            ) from None
+
+    # -- Figure 9: lmbench -------------------------------------------------------
+
+    def lmbench_us(self, test: str) -> float:
+        """null/read/write latency in microseconds (total, incl. entry)."""
+        try:
+            total_ns = self.lmbench_handler_ns[test]
+        except KeyError:
+            raise UnikernelError(
+                f"{self.name}: lmbench {test!r} not supported"
+            ) from None
+        return total_ns / 1000.0
+
+    # -- Table 4: application requests ---------------------------------------------
+
+    def request_ns(self, profile: RequestProfile) -> float:
+        """Cost to serve one request of *profile* on this unikernel."""
+        quirk = self.workload_quirks.get(profile.name,
+                                         UnikernelWorkloadQuirk())
+        syscall_ns = len(profile.syscalls) * self.syscall_entry_ns
+        copy_ns = (
+            (profile.packets_in + profile.packets_out)
+            * profile.payload_bytes / 12.0
+        )
+        data_ns = (profile.packets_in + profile.packets_out) * self.packet_ns
+        handshake_ns = (
+            profile.handshake_packets * self.packet_ns * quirk.handshake_factor
+        )
+        return (
+            profile.app_ns * self.app_work_factor
+            + syscall_ns
+            + copy_ns
+            + data_ns
+            + handshake_ns
+            + quirk.extra_ns
+        )
+
+    def requests_per_second(self, profile: RequestProfile) -> float:
+        return 1e9 / self.request_ns(profile)
+
+
+@dataclass
+class UnikernelInstance:
+    """A 'running' unikernel guest."""
+
+    unikernel: Unikernel
+    app: Application
+
+    def fork(self):
+        """Unikernels crash (or silently corrupt state) on fork."""
+        if self.unikernel.supports_fork:
+            raise UnikernelError("no modelled unikernel supports fork")
+        raise UnikernelCrash(
+            f"{self.unikernel.name}: fork() hit a stubbed-out implementation "
+            f"({self.unikernel.fork_behaviour})"
+        )
+
+    def syscall(self, name: str) -> float:
+        """Issue a syscall; unknown ones crash rather than return ENOSYS."""
+        handler = self.unikernel.lmbench_handler_ns.get(name)
+        if handler is None:
+            if name in ("getppid", "read", "write"):
+                handler = 5.0
+            else:
+                raise UnikernelCrash(
+                    f"{self.unikernel.name}: unimplemented syscall {name}"
+                )
+        return (self.unikernel.syscall_entry_ns + handler) / 1000.0

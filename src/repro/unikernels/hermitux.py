@@ -1,0 +1,51 @@
+"""HermiTux: a binary-compatible unikernel on the uhyve monitor.
+
+Behavioural model sources (paper Section 4):
+
+- runs Linux binaries via syscall rewriting/fast handling -- very low
+  syscall latency (Figure 9), but
+- its network path through uhyve is expensive, putting redis throughput at
+  ~0.66x microVM (Table 4);
+- nginx "has not been curated for HermiTux" -- it cannot run it at all;
+- small kernel image and small hello footprint, large redis footprint
+  (no lazy loading; eager allocation).
+"""
+
+from __future__ import annotations
+
+from repro.boot.phases import BootPhase
+from repro.unikernels.base import Unikernel, UnikernelWorkloadQuirk
+from repro.vmm.monitor import uhyve
+
+
+def HermiTux() -> Unikernel:
+    """Build the HermiTux comparator model."""
+    return Unikernel(
+        name="hermitux",
+        monitor=uhyve(),
+        curated_apps=frozenset({"hello-world", "redis"}),
+        statically_linked=False,
+        image_base_mb=1.9,
+        app_image_extra_mb={"hello-world": 0.0, "redis": 0.4},
+        boot_phases_ms={
+            BootPhase.KERNEL_LOAD: 2.0,
+            BootPhase.EARLY_SETUP: 6.5,
+            BootPhase.INITCALLS: 14.0,
+            BootPhase.ROOTFS_MOUNT: 1.5,
+            BootPhase.INIT_EXEC: 2.0,
+        },
+        footprint_mb={"hello-world": 9.0, "redis": 36.0},
+        syscall_entry_ns=11.0,
+        lmbench_handler_ns={"null": 11.0, "read": 13.0, "write": 12.0},
+        packet_ns=2684.0,
+        app_work_factor=1.2,
+        workload_quirks={
+            "redis-get": UnikernelWorkloadQuirk(
+                note="uhyve net path + single-threaded event handling"
+            ),
+            "redis-set": UnikernelWorkloadQuirk(
+                note="uhyve net path + single-threaded event handling"
+            ),
+        },
+        fork_behaviour="crash (fork stub aborts the guest)",
+    )

@@ -1,0 +1,28 @@
+"""Virtual machine monitors.
+
+Models the monitors the paper evaluates on: AWS Firecracker (used for
+microVM and all Lupine variants, and for OSv), and the unikernel monitors
+solo5-hvt (Rumprun) and uhyve (HermiTux), descendants of ukvm.  QEMU is
+included as the traditional heavyweight baseline the paper contrasts in
+Section 2.2.
+"""
+
+from repro.vmm.monitor import (
+    DeviceKind,
+    Monitor,
+    MonitorError,
+    firecracker,
+    qemu,
+    solo5_hvt,
+    uhyve,
+)
+
+__all__ = [
+    "DeviceKind",
+    "Monitor",
+    "MonitorError",
+    "firecracker",
+    "qemu",
+    "solo5_hvt",
+    "uhyve",
+]

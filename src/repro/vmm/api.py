@@ -1,0 +1,176 @@
+"""The Firecracker-style VM configuration API.
+
+Models the control-plane sequence a Lupine deployment drives: configure the
+machine (vCPUs, memory), point at a kernel image and boot args, attach
+drives and network interfaces, then ``InstanceStart``.  State transitions
+are enforced the way Firecracker enforces them (no reconfiguration after
+start, exactly one root drive, boot source required), so orchestration code
+exercised against this model catches the same mistakes it would against the
+real API.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.boot.bootsim import BootReport, BootSimulator
+from repro.boot.phases import RootfsKind
+from repro.kbuild.image import KernelImage
+from repro.vmm.monitor import Monitor, firecracker
+
+
+class ApiError(RuntimeError):
+    """An invalid API call sequence (Firecracker would return 400)."""
+
+
+class InstanceState(enum.Enum):
+    NOT_STARTED = "NotStarted"
+    RUNNING = "Running"
+    PAUSED = "Paused"
+    STOPPED = "Stopped"
+
+
+@dataclass
+class MachineConfig:
+    """PUT /machine-config payload."""
+
+    vcpu_count: int = 1
+    mem_size_mib: int = 512
+    smt: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.vcpu_count <= 32:
+            raise ApiError("vcpu_count must be in [1, 32]")
+        if self.mem_size_mib < 1:
+            raise ApiError("mem_size_mib must be positive")
+
+
+@dataclass
+class BootSource:
+    """PUT /boot-source payload."""
+
+    kernel_image: KernelImage
+    boot_args: str = "console=ttyS0 reboot=k panic=1 pci=off"
+
+
+@dataclass
+class Drive:
+    """PUT /drives/{id} payload."""
+
+    drive_id: str
+    is_root_device: bool
+    is_read_only: bool
+    size_mb: float
+
+
+@dataclass
+class NetworkInterface:
+    """PUT /network-interfaces/{id} payload."""
+
+    iface_id: str
+    guest_mac: str = "AA:FC:00:00:00:01"
+
+
+@dataclass
+class MicrovmInstance:
+    """One Firecracker-style microVM."""
+
+    monitor: Monitor = field(default_factory=firecracker)
+    state: InstanceState = InstanceState.NOT_STARTED
+    machine_config: MachineConfig = field(default_factory=MachineConfig)
+    boot_source: Optional[BootSource] = None
+    drives: List[Drive] = field(default_factory=list)
+    network_interfaces: List[NetworkInterface] = field(default_factory=list)
+    boot_report: Optional[BootReport] = None
+
+    # -- configuration (pre-start only) -------------------------------------
+
+    def _check_configurable(self) -> None:
+        if self.state is not InstanceState.NOT_STARTED:
+            raise ApiError(
+                "the instance is started; configuration is immutable"
+            )
+
+    def put_machine_config(self, config: MachineConfig) -> None:
+        self._check_configurable()
+        if config.vcpu_count > self.monitor.max_vcpus:
+            raise ApiError(
+                f"{self.monitor.name} supports at most "
+                f"{self.monitor.max_vcpus} vCPUs"
+            )
+        self.machine_config = config
+
+    def put_boot_source(self, source: BootSource) -> None:
+        self._check_configurable()
+        self.monitor.check_linux_guest(source.kernel_image)
+        self.boot_source = source
+
+    def put_drive(self, drive: Drive) -> None:
+        self._check_configurable()
+        if drive.is_root_device and any(
+            d.is_root_device for d in self.drives
+        ):
+            raise ApiError("a root device is already attached")
+        if any(d.drive_id == drive.drive_id for d in self.drives):
+            raise ApiError(f"drive {drive.drive_id!r} already exists")
+        self.drives.append(drive)
+
+    def put_network_interface(self, interface: NetworkInterface) -> None:
+        self._check_configurable()
+        if any(i.iface_id == interface.iface_id
+               for i in self.network_interfaces):
+            raise ApiError(f"interface {interface.iface_id!r} already exists")
+        self.network_interfaces.append(interface)
+
+    # -- actions ---------------------------------------------------------------
+
+    def instance_start(self) -> BootReport:
+        self._check_configurable()
+        if self.boot_source is None:
+            raise ApiError("no boot source configured")
+        if not any(d.is_root_device for d in self.drives):
+            raise ApiError("no root device attached")
+        simulator = BootSimulator(monitor_setup_ms=self.monitor.setup_ms)
+        self.boot_report = simulator.boot(
+            self.boot_source.kernel_image, rootfs=RootfsKind.EXT2
+        )
+        self.state = InstanceState.RUNNING
+        return self.boot_report
+
+    def pause(self) -> None:
+        if self.state is not InstanceState.RUNNING:
+            raise ApiError("only a running instance can be paused")
+        self.state = InstanceState.PAUSED
+
+    def resume(self) -> None:
+        if self.state is not InstanceState.PAUSED:
+            raise ApiError("only a paused instance can be resumed")
+        self.state = InstanceState.RUNNING
+
+    def stop(self) -> None:
+        if self.state is InstanceState.NOT_STARTED:
+            raise ApiError("instance was never started")
+        self.state = InstanceState.STOPPED
+
+
+def launch_lupine(unikernel, mem_size_mib: int = 128) -> MicrovmInstance:
+    """Convenience: drive the full API sequence for a built Lupine guest."""
+    instance = MicrovmInstance()
+    instance.put_machine_config(
+        MachineConfig(vcpu_count=1, mem_size_mib=mem_size_mib)
+    )
+    instance.put_boot_source(BootSource(kernel_image=unikernel.build.image))
+    instance.put_drive(
+        Drive(
+            drive_id="rootfs",
+            is_root_device=True,
+            is_read_only=False,
+            size_mb=unikernel.rootfs_size_mb,
+        )
+    )
+    if unikernel.app is not None and unikernel.app.needs_network:
+        instance.put_network_interface(NetworkInterface(iface_id="eth0"))
+    instance.instance_start()
+    return instance

@@ -1,0 +1,151 @@
+"""Monitor models: device surface, setup cost, guest compatibility.
+
+A monitor contributes three things to the simulation:
+
+- ``setup_ms``: process start + VM creation + kernel load initiation, the
+  time before the guest's first instruction (Firecracker is ~8 ms; unikernel
+  monitors are leaner; QEMU pays for its device emulation generality);
+- a device surface: which virtual devices the guest can drive (a guest
+  kernel missing a matching driver cannot mount its rootfs or reach the
+  network);
+- memory overhead charged outside the guest (not part of the Figure 8
+  footprint, which is guest memory, but reported for completeness).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.kbuild.image import KernelImage
+
+
+class MonitorError(RuntimeError):
+    """Raised when a guest cannot run on a monitor (no matching devices)."""
+
+
+class DeviceKind(enum.Enum):
+    """Virtual device families a monitor may expose."""
+
+    VIRTIO_MMIO_BLK = "virtio-mmio-blk"
+    VIRTIO_MMIO_NET = "virtio-mmio-net"
+    VIRTIO_PCI = "virtio-pci"
+    SERIAL_16550 = "serial-16550"
+    SOLO5_BLK = "solo5-blk"
+    SOLO5_NET = "solo5-net"
+    UHYVE_BLK = "uhyve-blk"
+    UHYVE_NET = "uhyve-net"
+    EMULATED_IDE = "emulated-ide"
+    EMULATED_E1000 = "emulated-e1000"
+    VGA = "vga"
+
+
+#: Guest config options that drive each device kind.
+_DRIVER_OPTIONS = {
+    DeviceKind.VIRTIO_MMIO_BLK: ("VIRTIO_MMIO", "VIRTIO_BLK"),
+    DeviceKind.VIRTIO_MMIO_NET: ("VIRTIO_MMIO", "VIRTIO_NET"),
+    DeviceKind.SERIAL_16550: ("SERIAL_8250",),
+    DeviceKind.EMULATED_IDE: ("ATA",),
+    DeviceKind.EMULATED_E1000: ("E1000",),
+}
+
+
+@dataclass(frozen=True)
+class Monitor:
+    """One virtual machine monitor."""
+
+    name: str
+    setup_ms: float
+    devices: FrozenSet[DeviceKind]
+    memory_overhead_mb: float
+    max_vcpus: int
+    measures_boot_via_io_port: bool = True
+    loc_estimate: int = 0
+
+    def check_linux_guest(self, image: KernelImage) -> None:
+        """Validate that *image* can drive this monitor's devices.
+
+        Raises :class:`MonitorError` when the guest has no driver for the
+        monitor's block device or console -- the simulated analogue of a
+        hang at boot.
+        """
+        if not self._has_driver(image, DeviceKind.VIRTIO_MMIO_BLK) and not (
+            self._has_driver(image, DeviceKind.EMULATED_IDE)
+        ):
+            raise MonitorError(
+                f"{self.name}: guest kernel has no driver for any exposed "
+                "block device"
+            )
+        if DeviceKind.SERIAL_16550 in self.devices and not self._has_driver(
+            image, DeviceKind.SERIAL_16550
+        ):
+            raise MonitorError(f"{self.name}: guest kernel has no console driver")
+
+    def _has_driver(self, image: KernelImage, kind: DeviceKind) -> bool:
+        if kind not in self.devices:
+            return False
+        required = _DRIVER_OPTIONS.get(kind, ())
+        return all(image.has_option(option) for option in required)
+
+
+def firecracker() -> Monitor:
+    """AWS Firecracker: Rust microVM monitor, virtio-mmio, no PCI."""
+    return Monitor(
+        name="firecracker",
+        setup_ms=8.0,
+        devices=frozenset(
+            {
+                DeviceKind.VIRTIO_MMIO_BLK,
+                DeviceKind.VIRTIO_MMIO_NET,
+                DeviceKind.SERIAL_16550,
+            }
+        ),
+        memory_overhead_mb=3.0,
+        max_vcpus=32,
+        loc_estimate=50_000,
+    )
+
+
+def qemu() -> Monitor:
+    """Traditional QEMU: full device emulation (1.8M lines of C)."""
+    return Monitor(
+        name="qemu",
+        setup_ms=110.0,
+        devices=frozenset(
+            {
+                DeviceKind.VIRTIO_PCI,
+                DeviceKind.EMULATED_IDE,
+                DeviceKind.EMULATED_E1000,
+                DeviceKind.SERIAL_16550,
+                DeviceKind.VGA,
+            }
+        ),
+        memory_overhead_mb=35.0,
+        max_vcpus=255,
+        loc_estimate=1_800_000,
+    )
+
+
+def solo5_hvt() -> Monitor:
+    """solo5-hvt (ukvm descendant): Rumprun's unikernel monitor."""
+    return Monitor(
+        name="solo5-hvt",
+        setup_ms=2.2,
+        devices=frozenset({DeviceKind.SOLO5_BLK, DeviceKind.SOLO5_NET}),
+        memory_overhead_mb=1.0,
+        max_vcpus=1,
+        loc_estimate=9_000,
+    )
+
+
+def uhyve() -> Monitor:
+    """uhyve (ukvm descendant): HermiTux's unikernel monitor."""
+    return Monitor(
+        name="uhyve",
+        setup_ms=2.0,
+        devices=frozenset({DeviceKind.UHYVE_BLK, DeviceKind.UHYVE_NET}),
+        memory_overhead_mb=1.0,
+        max_vcpus=1,
+        loc_estimate=8_000,
+    )

@@ -1,0 +1,65 @@
+"""Background control processes (Figure 11).
+
+The paper launches 2^0 .. 2^10 sleeping "control processes" (shells,
+monitors, environment setup -- the auxiliary processes real deployments
+need) and shows that system call latency is unaffected: sleeping tasks are
+not on the run queue, and an O(1) wakeup path does not get slower with more
+sleepers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sched.scheduler import Scheduler
+from repro.sched.smp import SmpModel
+from repro.syscall.dispatch import SyscallEngine
+from repro.syscall.lmbench import (
+    null_latency_us,
+    read_latency_us,
+    write_latency_us,
+)
+
+
+@dataclass
+class ControlProcessResult:
+    """Latency measurements with one background-process population."""
+
+    control_processes: int
+    latencies_us: Dict[str, float]
+
+
+def run_with_control_processes(
+    engine: SyscallEngine,
+    control_processes: int,
+) -> ControlProcessResult:
+    """Measure lmbench null/read/write with sleeping control processes."""
+    scheduler = Scheduler(
+        cost_model=engine.cost_model, smp=SmpModel(smp_enabled=False)
+    )
+    app = scheduler.spawn("app", working_set_kb=64)
+    for index in range(control_processes):
+        task = scheduler.spawn(f"ctl-{index}", working_set_kb=4)
+        scheduler.sleep(task)
+    scheduler.schedule()  # app is the only runnable task
+    assert scheduler.current is app
+    assert scheduler.sleeping_count() == control_processes
+
+    return ControlProcessResult(
+        control_processes=control_processes,
+        latencies_us={
+            "null": null_latency_us(engine),
+            "read": read_latency_us(engine),
+            "write": write_latency_us(engine),
+        },
+    )
+
+
+def sweep(engine_factory, max_power: int = 10) -> List[ControlProcessResult]:
+    """Run the Figure 11 sweep: 2^0 .. 2^max_power control processes."""
+    results = []
+    for power in range(max_power + 1):
+        engine = engine_factory()
+        results.append(run_with_control_processes(engine, 2 ** power))
+    return results

@@ -1,0 +1,43 @@
+"""memtier-style memcached benchmark (extension workload).
+
+memcached is #9 on the paper's Table 3; its event loop is libevent over
+epoll with eventfd wakeups between worker threads, which makes it a good
+stress of the EVENTFD/EPOLL configuration split the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.server import LinuxServerStack, RequestProfile
+
+MEMCACHED_GET = RequestProfile(
+    name="memcached-get",
+    syscalls=("epoll_wait", "read", "write", "eventfd2"),
+    app_ns=2600.0,
+    packets_in=1,
+    packets_out=1,
+    payload_bytes=256,
+)
+
+MEMCACHED_SET = RequestProfile(
+    name="memcached-set",
+    syscalls=("epoll_wait", "read", "write", "eventfd2"),
+    app_ns=2900.0,
+    packets_in=1,
+    packets_out=1,
+    payload_bytes=320,
+)
+
+
+@dataclass
+class MemtierBenchmark:
+    """A memtier_benchmark-style client."""
+
+    requests: int = 2000
+
+    def get_rps(self, stack: LinuxServerStack) -> float:
+        return stack.run(MEMCACHED_GET, self.requests)
+
+    def set_rps(self, stack: LinuxServerStack) -> float:
+        return stack.run(MEMCACHED_SET, self.requests)

@@ -1,0 +1,66 @@
+"""ab (ApacheBench): the nginx throughput workloads of Table 4.
+
+Two scenarios, as in the paper:
+
+- ``nginx-conn``: one HTTP request per connection -- every request pays the
+  TCP handshake (SYN/SYN-ACK/ACK) and teardown, accept4 and fd churn.  This
+  is where kernel specialization helps most (1.33x in the paper): conntrack
+  and friends do their heaviest work on new flows.
+- ``nginx-sess``: one hundred requests per keep-alive connection (ab
+  --keepalive) -- handshake costs amortize away, leaving the steady-state
+  read/writev path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.server import LinuxServerStack, RequestProfile
+
+NGINX_CONN = RequestProfile(
+    name="nginx-conn",
+    syscalls=("accept4", "epoll_ctl", "read", "openat", "fstat", "writev",
+              "close", "close"),
+    app_ns=6500.0,
+    packets_in=2,
+    packets_out=2,
+    handshake_packets=3,
+    payload_bytes=6144,
+)
+
+NGINX_SESS = RequestProfile(
+    name="nginx-sess",
+    syscalls=("epoll_wait", "read", "openat", "writev", "close"),
+    app_ns=4400.0,
+    packets_in=1,
+    packets_out=1,
+    handshake_packets=0,
+    payload_bytes=6144,
+)
+
+#: Requests per keep-alive session in the -sess scenario.
+REQUESTS_PER_SESSION = 100
+
+
+@dataclass
+class ApacheBench:
+    """The ab client."""
+
+    requests: int = 2000
+
+    def conn_rps(self, stack: LinuxServerStack) -> float:
+        """One request per connection."""
+        return stack.run(NGINX_CONN, self.requests)
+
+    def sess_rps(self, stack: LinuxServerStack) -> float:
+        """Keep-alive sessions: handshake amortized over 100 requests."""
+        sessions = max(1, self.requests // REQUESTS_PER_SESSION)
+        per_session_overhead_ns = (
+            stack.engine.latency_ns("accept4")
+            + 2 * stack.engine.latency_ns("close")
+            + 3 * stack.netpath.connection_packet_ns()
+        )
+        rps = stack.run(NGINX_SESS, self.requests)
+        # Fold the per-session connection cost back into the rate.
+        per_request_ns = 1e9 / rps + per_session_overhead_ns / REQUESTS_PER_SESSION
+        return 1e9 / per_request_ns

@@ -1,0 +1,57 @@
+"""pgbench-style postgres benchmark (extension workload, Section 5 flavour).
+
+postgres is the paper's canonical *non*-unikernel application: multiple
+processes, System V shared memory, and fork at connection time.  This
+workload exercises exactly those paths -- a TPC-B-ish transaction through a
+backend process using SysV IPC for the shared buffer pool -- so it only
+runs on kernels configured with ``SYSVIPC`` (graceful degradation, not the
+unikernel envelope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.syscall.dispatch import SyscallEngine
+from repro.workloads.server import LinuxServerStack, RequestProfile
+
+#: One TPC-B-ish transaction: receive query, touch shared buffers (SysV
+#: shm + semaphores), write WAL, reply.
+PGBENCH_TRANSACTION = RequestProfile(
+    name="pgbench-tpcb",
+    syscalls=(
+        "epoll_wait", "recvfrom",          # query arrives
+        "semop", "shmat", "shmdt",         # shared buffer pool access
+        "pwrite64", "fdatasync",           # WAL
+        "sendto",                          # reply
+    ),
+    app_ns=21000.0,  # executor + planner work
+    packets_in=1,
+    packets_out=1,
+    payload_bytes=512,
+)
+
+#: Backend spawn: postgres forks one backend per connection.
+BACKEND_SPAWN_SYSCALLS = ("fork", "setsid", "shmat")
+
+
+@dataclass
+class PgBench:
+    """A pgbench-style client: transactions/second plus connection churn."""
+
+    transactions: int = 500
+    connections: int = 10
+
+    def tps(self, stack: LinuxServerStack) -> float:
+        """Transactions per second, including backend spawn costs."""
+        engine = stack.engine
+        for _ in range(self.connections):
+            for name in BACKEND_SPAWN_SYSCALLS:
+                engine.invoke(name)
+        return stack.run(PGBENCH_TRANSACTION, self.transactions)
+
+    @staticmethod
+    def check_kernel(engine: SyscallEngine) -> None:
+        """Fail fast (ENOSYS) if the kernel lacks postgres's requirements."""
+        for name in ("semop", "shmat", "futex", "epoll_wait"):
+            engine.lookup(name)

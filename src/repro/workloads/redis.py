@@ -1,0 +1,44 @@
+"""redis-benchmark: the GET/SET throughput workloads of Table 4.
+
+Request recipes follow redis's actual event loop: one ``epoll_wait`` wakeup,
+one ``read`` of the command, command execution in userspace, one ``write``
+of the reply; one request and one reply packet on the wire.  SET does
+slightly more userspace work (dict insert + allocation) than GET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.server import LinuxServerStack, RequestProfile
+
+REDIS_GET = RequestProfile(
+    name="redis-get",
+    syscalls=("epoll_wait", "read", "write"),
+    app_ns=4000.0,
+    packets_in=1,
+    packets_out=1,
+    payload_bytes=128,
+)
+
+REDIS_SET = RequestProfile(
+    name="redis-set",
+    syscalls=("epoll_wait", "read", "write"),
+    app_ns=4350.0,
+    packets_in=1,
+    packets_out=1,
+    payload_bytes=192,
+)
+
+
+@dataclass
+class RedisBenchmark:
+    """The redis-benchmark client (requests/second for GET and SET)."""
+
+    requests: int = 2000
+
+    def get_rps(self, stack: LinuxServerStack) -> float:
+        return stack.run(REDIS_GET, self.requests)
+
+    def set_rps(self, stack: LinuxServerStack) -> float:
+        return stack.run(REDIS_SET, self.requests)

@@ -1,0 +1,78 @@
+"""Request-cost composition for network server workloads.
+
+A served request costs: the syscalls the server issues (through the
+simulated kernel, so entry mechanism and config hooks apply), the network
+stack traversals for the packets involved (config hooks again), and the
+application's own userspace work (identical across kernels -- the paper
+keeps the application binary unmodified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.netstack.path import NetworkPath
+from repro.syscall.dispatch import SyscallEngine
+
+
+@dataclass(frozen=True)
+class RequestProfile:
+    """The per-request recipe for one workload."""
+
+    name: str
+    syscalls: Tuple[str, ...]
+    app_ns: float
+    packets_in: int = 1
+    packets_out: int = 1
+    handshake_packets: int = 0
+    payload_bytes: int = 256
+
+    @property
+    def total_packets(self) -> int:
+        return self.packets_in + self.packets_out + self.handshake_packets
+
+
+@dataclass
+class LinuxServerStack:
+    """A server application running on one simulated Linux kernel."""
+
+    engine: SyscallEngine
+    netpath: NetworkPath
+
+    def request_ns(self, profile: RequestProfile) -> float:
+        """Simulated time to serve one request."""
+        syscall_ns = sum(
+            self.engine.latency_ns(name) for name in profile.syscalls
+        )
+        data_ns = (profile.packets_in + profile.packets_out) * (
+            self.netpath.packet_ns(profile.payload_bytes)
+        )
+        handshake_ns = profile.handshake_packets * (
+            self.netpath.connection_packet_ns()
+        )
+        # Userspace work is slower in ring 0? No: KML processes run the same
+        # code at the same speed; only kernel work scales with -Os.
+        return syscall_ns + data_ns + handshake_ns + profile.app_ns
+
+    def requests_per_second(self, profile: RequestProfile) -> float:
+        return 1e9 / self.request_ns(profile)
+
+    def run(self, profile: RequestProfile, requests: int) -> float:
+        """Drive *requests* requests through the live engine; returns rps.
+
+        Unlike :meth:`requests_per_second` this mutates engine state (the
+        deterministic jitter applies), modelling a real benchmark run.
+        """
+        start = self.engine.clock_ns
+        for _ in range(requests):
+            for name in profile.syscalls:
+                self.engine.invoke(name)
+            self.engine.cpu_work(
+                profile.app_ns
+                + (profile.packets_in + profile.packets_out)
+                * self.netpath.packet_ns(profile.payload_bytes)
+                + profile.handshake_packets * self.netpath.connection_packet_ns()
+            )
+        elapsed_s = (self.engine.clock_ns - start) / 1e9
+        return requests / elapsed_s

@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Expensive artifacts (the option tree, resolved configs, built variants) are
+session-scoped: they are immutable, so sharing them across tests is safe and
+keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import (
+    Variant,
+    build_microvm,
+    build_variant,
+)
+from repro.kconfig.configs import lupine_base_config, microvm_config
+from repro.kconfig.database import build_linux_tree
+
+
+@pytest.fixture(scope="session")
+def tree():
+    return build_linux_tree()
+
+
+@pytest.fixture(scope="session")
+def kml_tree():
+    return build_linux_tree(patches=("kml",))
+
+
+@pytest.fixture(scope="session")
+def microvm(tree):
+    return microvm_config(tree)
+
+
+@pytest.fixture(scope="session")
+def lupine_base(tree):
+    return lupine_base_config(tree)
+
+
+@pytest.fixture(scope="session")
+def microvm_build():
+    return build_microvm()
+
+
+@pytest.fixture(scope="session")
+def lupine_build():
+    return build_variant(Variant.LUPINE)
+
+
+@pytest.fixture(scope="session")
+def nokml_build():
+    return build_variant(Variant.LUPINE_NOKML)
+
+
+@pytest.fixture(scope="session")
+def general_build():
+    return build_variant(Variant.LUPINE_GENERAL)

@@ -1,0 +1,66 @@
+"""Tests for the named configurations."""
+
+from repro.kconfig.configs import defconfig, tinyconfig
+from repro.kconfig.database import microvm_option_names
+
+
+class TestMicrovm:
+    def test_exactly_833_enabled(self, microvm):
+        assert len(microvm.enabled) == 833
+
+    def test_no_demotions(self, microvm):
+        assert microvm.demoted == {}
+
+    def test_no_select_violations(self, microvm):
+        assert microvm.select_violations == ()
+
+    def test_name(self, microvm):
+        assert microvm.name == "microvm"
+
+    def test_has_hardware_and_debug_options(self, microvm):
+        for name in ("PCI", "ACPI", "SMP", "SECCOMP", "AUDITSYSCALL",
+                     "SLUB_DEBUG", "NF_CONNTRACK"):
+            assert name in microvm
+
+    def test_enabled_equals_requested_set(self, microvm):
+        assert microvm.enabled == frozenset(microvm_option_names())
+
+
+class TestLupineBase:
+    def test_exactly_283_enabled(self, lupine_base):
+        assert len(lupine_base.enabled) == 283
+
+    def test_no_demotions(self, lupine_base):
+        assert lupine_base.demoted == {}
+
+    def test_is_subset_of_microvm(self, lupine_base, microvm):
+        assert lupine_base.enabled < microvm.enabled
+
+    def test_excludes_unikernel_unnecessary_options(self, lupine_base):
+        for name in ("SMP", "PCI", "ACPI", "MODULES", "SECCOMP", "CGROUPS",
+                     "NAMESPACES", "SECURITY_SELINUX", "PM"):
+            assert name not in lupine_base
+
+    def test_excludes_application_specific_options(self, lupine_base):
+        for name in ("EPOLL", "FUTEX", "INET", "PROC_FS", "TMPFS"):
+            assert name not in lupine_base
+
+    def test_keeps_virtio_and_paravirt(self, lupine_base):
+        for name in ("VIRTIO", "VIRTIO_BLK", "VIRTIO_NET", "PARAVIRT",
+                     "SERIAL_8250_CONSOLE", "EXT2_FS"):
+            assert name in lupine_base
+
+
+class TestOtherConfigs:
+    def test_tinyconfig_is_tiny(self, tree):
+        tiny = tinyconfig(tree)
+        assert 30 <= len(tiny.enabled) <= 60
+        assert tiny.demoted == {}
+
+    def test_tinyconfig_subset_of_base(self, tree, lupine_base):
+        assert tinyconfig(tree).enabled < lupine_base.enabled
+
+    def test_defconfig_is_distribution_scale(self, tree, microvm):
+        config = defconfig(tree)
+        assert len(config.enabled) > 2000
+        assert microvm.enabled < config.enabled

@@ -1,0 +1,63 @@
+"""Tests for categorized config diffs."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.specialization import app_config
+from repro.kconfig.diff import diff_configs
+
+
+class TestDiff:
+    def test_microvm_vs_base_is_the_550_story(self, tree, microvm,
+                                              lupine_base):
+        diff = diff_configs(microvm, lupine_base)
+        assert diff.left_total == 550
+        assert diff.right_total == 0
+        assert len(diff.only_left["app"]) == 311
+        assert len(diff.only_left["mp"]) == 89
+        assert len(diff.only_left["hw"]) == 150
+
+    def test_identical_configs(self, microvm):
+        diff = diff_configs(microvm, microvm)
+        assert diff.identical
+
+    def test_app_vs_base_shows_table3_options(self, tree, lupine_base):
+        redis = app_config(get_app("redis"), tree)
+        diff = diff_configs(redis, lupine_base)
+        assert diff.left_total == 10
+        assert diff.right_total == 0
+        assert "EPOLL" in diff.only_left["app"]
+        # SYSVIPC is not in redis's set, but is 'mp' for postgres:
+        postgres = app_config(get_app("postgres"), tree)
+        postgres_diff = diff_configs(postgres, lupine_base)
+        assert "SYSVIPC" in postgres_diff.only_left["mp"]
+
+    def test_two_app_configs(self, tree):
+        nginx = app_config(get_app("nginx"), tree)
+        redis = app_config(get_app("redis"), tree)
+        diff = diff_configs(nginx, redis)
+        assert "AIO" in diff.only_left["app"]
+        assert "TMPFS" in diff.only_right["app"]
+
+    def test_summary_lines_render(self, microvm, lupine_base):
+        lines = diff_configs(microvm, lupine_base).summary_lines()
+        text = "\n".join(lines)
+        assert "application-specific" in text
+        assert "550 options" in text
+
+    def test_option_listing(self, tree, lupine_base):
+        redis = app_config(get_app("redis"), tree)
+        lines = diff_configs(redis, lupine_base).summary_lines(
+            show_options=True
+        )
+        assert any("CONFIG_EPOLL" in line for line in lines)
+
+    def test_mismatched_trees_rejected(self, microvm):
+        from repro.kconfig.model import ConfigOption, KconfigTree
+        from repro.kconfig.resolver import Resolver
+
+        other_tree = KconfigTree()
+        other_tree.add(ConfigOption(name="LONELY"))
+        other = Resolver(other_tree).resolve_names(["LONELY"])
+        with pytest.raises(ValueError, match="different option trees"):
+            diff_configs(microvm, other)

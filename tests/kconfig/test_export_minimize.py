@@ -1,0 +1,132 @@
+"""Tests for Kconfig export/import round-tripping and minimization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kconfig.configs import lupine_base_config, microvm_config
+from repro.kconfig.export import export_kconfig, import_kconfig
+from repro.kconfig.expr import parse_expr
+from repro.kconfig.minimize import defconfig_lines, minimize_config
+from repro.kconfig.model import ConfigOption, KconfigTree
+from repro.kconfig.resolver import Resolver
+
+
+class TestExportRoundTrip:
+    def test_small_tree_roundtrip(self):
+        tree = KconfigTree()
+        tree.add(ConfigOption(name="NET", prompt="Networking",
+                              directory="net", help_text="core\nnetworking"))
+        tree.add(ConfigOption(name="INET", directory="net",
+                              depends_on=parse_expr("NET"),
+                              selects=("CRC32",),
+                              default=parse_expr("NET")))
+        tree.add(ConfigOption(name="CRC32", directory="lib"))
+        files = export_kconfig(tree)
+        assert set(files) == {"Kconfig", "net/Kconfig", "lib/Kconfig"}
+        parsed = import_kconfig(files)
+        assert set(parsed.names()) == set(tree.names())
+        assert parsed["INET"].dependency_symbols() == {"NET"}
+        assert parsed["INET"].selects == ("CRC32",)
+        assert parsed["NET"].prompt == "Networking"
+        assert "networking" in parsed["NET"].help_text
+
+    def test_full_database_roundtrip(self, tree):
+        """Push all 15,953 options through export -> parse."""
+        parsed = import_kconfig(export_kconfig(tree))
+        assert len(parsed) == len(tree)
+        for name in ("INET", "EPOLL", "VIRTIO_NET", "SECURITY_SELINUX"):
+            original, round_tripped = tree[name], parsed[name]
+            assert round_tripped.option_type is original.option_type
+            assert round_tripped.selects == original.selects
+            assert (round_tripped.dependency_symbols()
+                    == original.dependency_symbols())
+
+    def test_roundtripped_tree_resolves_identically(self, tree, microvm):
+        from repro.kconfig.database import microvm_option_names
+
+        parsed = import_kconfig(export_kconfig(tree))
+        resolved = Resolver(parsed).resolve_names(microvm_option_names())
+        assert resolved.enabled == microvm.enabled
+
+    def test_directory_structure_preserved(self, tree):
+        parsed = import_kconfig(export_kconfig(tree))
+        assert parsed.count_by_directory() == tree.count_by_directory()
+
+
+class TestMinimize:
+    def test_select_implied_options_dropped(self):
+        tree = KconfigTree()
+        tree.add(ConfigOption(name="A", selects=("B", "C")))
+        tree.add(ConfigOption(name="B"))
+        tree.add(ConfigOption(name="C"))
+        config = Resolver(tree).resolve_names(["A"])
+        assert minimize_config(config) == {"A"}
+
+    def test_default_implied_options_dropped(self):
+        tree = KconfigTree()
+        tree.add(ConfigOption(name="A"))
+        tree.add(ConfigOption(name="B", default=parse_expr("A")))
+        config = Resolver(tree).resolve_names(["A", "B"])
+        assert minimize_config(config) == {"A"}
+
+    def test_explicitly_needed_options_kept(self):
+        tree = KconfigTree()
+        tree.add(ConfigOption(name="A"))
+        tree.add(ConfigOption(name="B"))
+        config = Resolver(tree).resolve_names(["A", "B"])
+        assert minimize_config(config) == {"A", "B"}
+
+    def test_minimized_lupine_base_reproduces_exactly(self, tree):
+        config = lupine_base_config(tree)
+        minimal = minimize_config(config)
+        assert len(minimal) < len(config.enabled)
+        resolved = Resolver(tree).resolve_names(sorted(minimal))
+        assert resolved.enabled == config.enabled
+
+    def test_minimized_microvm_reproduces_exactly(self, tree):
+        config = microvm_config(tree)
+        minimal = minimize_config(config)
+        resolved = Resolver(tree).resolve_names(sorted(minimal))
+        assert resolved.enabled == config.enabled
+
+    def test_defconfig_lines_format(self, tree):
+        config = lupine_base_config(tree)
+        lines = defconfig_lines(config)
+        assert all(line.startswith("CONFIG_") and line.endswith("=y")
+                   for line in lines)
+        assert lines == sorted(lines)
+
+
+@st.composite
+def _tree_with_implications(draw):
+    names = [f"K{i}" for i in range(draw(st.integers(3, 7)))]
+    tree = KconfigTree()
+    for index, name in enumerate(names):
+        earlier = names[:index]
+        selects = tuple(
+            n for n in earlier if draw(st.booleans()) and draw(st.booleans())
+        )
+        default = None
+        if earlier and draw(st.booleans()):
+            default = parse_expr(draw(st.sampled_from(earlier)))
+        tree.add(ConfigOption(name=name, selects=selects, default=default))
+    requested = sorted(draw(st.sets(st.sampled_from(names), min_size=1)))
+    return tree, requested
+
+
+class TestMinimizeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_tree_with_implications())
+    def test_minimize_always_reproduces(self, tree_and_request):
+        tree, requested = tree_and_request
+        config = Resolver(tree).resolve_names(requested)
+        minimal = minimize_config(config)
+        resolved = Resolver(tree).resolve_names(sorted(minimal))
+        assert resolved.enabled == config.enabled
+
+    @settings(max_examples=60, deadline=None)
+    @given(_tree_with_implications())
+    def test_minimal_is_subset_of_enabled(self, tree_and_request):
+        tree, requested = tree_and_request
+        config = Resolver(tree).resolve_names(requested)
+        assert minimize_config(config) <= config.enabled

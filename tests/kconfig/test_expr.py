@@ -1,0 +1,188 @@
+"""Tests for the Kconfig expression language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kconfig.expr import (
+    And,
+    Compare,
+    ExprError,
+    Not,
+    Or,
+    Symbol,
+    Tristate,
+    expr_symbols,
+    parse_expr,
+)
+
+Y, M, N = Tristate.YES, Tristate.MODULE, Tristate.NO
+
+
+class TestTristate:
+    def test_ordering(self):
+        assert N < M < Y
+
+    def test_str(self):
+        assert str(Y) == "y"
+        assert str(M) == "m"
+        assert str(N) == "n"
+
+    @pytest.mark.parametrize("text,value", [("y", Y), ("m", M), ("n", N),
+                                            ("Y", Y), ("M", M), ("N", N)])
+    def test_from_str(self, text, value):
+        assert Tristate.from_str(text) is value
+
+    def test_from_str_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Tristate.from_str("maybe")
+
+    def test_invert_follows_kconfig(self):
+        assert ~Y is N
+        assert ~N is Y
+        assert ~M is M  # !m == m in Kconfig
+
+
+class TestParsing:
+    def test_single_symbol(self):
+        assert parse_expr("NET") == Symbol("NET")
+
+    def test_and(self):
+        assert parse_expr("A && B") == And(Symbol("A"), Symbol("B"))
+
+    def test_or(self):
+        assert parse_expr("A || B") == Or(Symbol("A"), Symbol("B"))
+
+    def test_not(self):
+        assert parse_expr("!A") == Not(Symbol("A"))
+
+    def test_double_negation(self):
+        assert parse_expr("!!A") == Not(Not(Symbol("A")))
+
+    def test_precedence_and_binds_tighter(self):
+        expr = parse_expr("A || B && C")
+        assert isinstance(expr, Or)
+        assert isinstance(expr.rhs, And)
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expr("(A || B) && C")
+        assert isinstance(expr, And)
+        assert isinstance(expr.lhs, Or)
+
+    def test_comparison_equal(self):
+        expr = parse_expr("A = B")
+        assert expr == Compare(Symbol("A"), Symbol("B"), negated=False)
+
+    def test_comparison_not_equal(self):
+        expr = parse_expr("A != y")
+        assert expr == Compare(Symbol("A"), Symbol("y"), negated=True)
+
+    def test_quoted_string_symbol(self):
+        expr = parse_expr('ARCH = "x86_64"')
+        assert isinstance(expr, Compare)
+        assert expr.rhs == Symbol("x86_64")
+
+    def test_deeply_nested(self):
+        expr = parse_expr("!(A && (B || !C)) || D")
+        assert "D" in expr_symbols(expr)
+
+    @pytest.mark.parametrize("bad", ["", "&&", "A &&", "(A", "A)", "A = ",
+                                     "A @ B", "A ! B"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ExprError):
+            parse_expr(bad)
+
+    def test_roundtrip_via_str(self):
+        for text in ("A && B", "A || B && C", "!(A || B)", "A=B && C!=n"):
+            expr = parse_expr(text)
+            assert parse_expr(str(expr)).evaluate({}) == expr.evaluate({})
+
+
+class TestEvaluation:
+    def test_missing_symbol_is_n(self):
+        assert parse_expr("MISSING").evaluate({}) is N
+
+    def test_literals(self):
+        assert parse_expr("y").evaluate({}) is Y
+        assert parse_expr("m").evaluate({}) is M
+        assert parse_expr("n").evaluate({}) is N
+
+    def test_and_is_min(self):
+        env = {"A": Y, "B": M}
+        assert parse_expr("A && B").evaluate(env) is M
+
+    def test_or_is_max(self):
+        env = {"A": N, "B": M}
+        assert parse_expr("A || B").evaluate(env) is M
+
+    def test_not_module(self):
+        assert parse_expr("!A").evaluate({"A": M}) is M
+
+    def test_compare_equal(self):
+        assert parse_expr("A = B").evaluate({"A": Y, "B": Y}) is Y
+        assert parse_expr("A = B").evaluate({"A": Y, "B": M}) is N
+
+    def test_compare_against_literal(self):
+        assert parse_expr("A = m").evaluate({"A": M}) is Y
+
+    def test_complex_expression(self):
+        env = {"NET": Y, "INET": Y, "UNIX": N}
+        assert parse_expr("NET && (INET || UNIX)").evaluate(env) is Y
+        assert parse_expr("NET && INET && UNIX").evaluate(env) is N
+
+    def test_symbols_extraction(self):
+        assert expr_symbols(parse_expr("A && !B || C=D")) == {
+            "A", "B", "C", "D"
+        }
+
+    def test_literal_not_in_symbols(self):
+        assert expr_symbols(parse_expr("A && y")) == {"A"}
+
+
+_symbols = st.sampled_from(["A", "B", "C", "D"])
+_tristates = st.sampled_from([N, M, Y])
+
+
+@st.composite
+def _exprs(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return Symbol(draw(_symbols))
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return Not(draw(_exprs(depth + 1)))
+    lhs, rhs = draw(_exprs(depth + 1)), draw(_exprs(depth + 1))
+    return And(lhs, rhs) if kind == 1 else Or(lhs, rhs)
+
+
+@st.composite
+def _envs(draw):
+    return {name: draw(_tristates) for name in ("A", "B", "C", "D")}
+
+
+class TestExprProperties:
+    @given(_exprs(), _envs())
+    def test_de_morgan_and(self, expr, env):
+        """!(a && b) == !a || !b under tristate semantics."""
+        a, b = expr, Symbol("A")
+        lhs = Not(And(a, b)).evaluate(env)
+        rhs = Or(Not(a), Not(b)).evaluate(env)
+        assert lhs == rhs
+
+    @given(_exprs(), _envs())
+    def test_double_negation_identity(self, expr, env):
+        assert Not(Not(expr)).evaluate(env) == expr.evaluate(env)
+
+    @given(_exprs(), _exprs(), _envs())
+    def test_and_commutes(self, a, b, env):
+        assert And(a, b).evaluate(env) == And(b, a).evaluate(env)
+
+    @given(_exprs(), _exprs(), _envs())
+    def test_or_commutes(self, a, b, env):
+        assert Or(a, b).evaluate(env) == Or(b, a).evaluate(env)
+
+    @given(_exprs(), _envs())
+    def test_str_roundtrip_preserves_value(self, expr, env):
+        assert parse_expr(str(expr)).evaluate(env) == expr.evaluate(env)
+
+    @given(_exprs(), _envs())
+    def test_absorption(self, a, env):
+        assert Or(a, And(a, a)).evaluate(env) == a.evaluate(env)

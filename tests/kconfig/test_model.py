@@ -1,0 +1,116 @@
+"""Tests for the option model and tree."""
+
+import pytest
+
+from repro.kconfig.expr import parse_expr
+from repro.kconfig.model import (
+    ConfigOption,
+    DuplicateOptionError,
+    KconfigTree,
+    OptionType,
+    UnknownOptionError,
+)
+
+
+def _option(name, directory="kernel", **kwargs):
+    return ConfigOption(name=name, directory=directory, **kwargs)
+
+
+class TestConfigOption:
+    def test_defaults(self):
+        option = _option("FOO")
+        assert option.option_type is OptionType.BOOL
+        assert option.selects == ()
+        assert not option.synthetic
+
+    @pytest.mark.parametrize("bad", ["", "FOO BAR", "FOO-BAR", "FOO!"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            _option(bad)
+
+    def test_numeric_leading_name_allowed(self):
+        # Real kernel options like 9P_FS and 6LOWPAN start with digits.
+        assert _option("9P_FS").name == "9P_FS"
+
+    def test_dependency_symbols(self):
+        option = _option("FOO", depends_on=parse_expr("A && !B"))
+        assert option.dependency_symbols() == {"A", "B"}
+
+    def test_symbolic_types(self):
+        assert OptionType.BOOL.is_symbolic
+        assert OptionType.TRISTATE.is_symbolic
+        assert not OptionType.INT.is_symbolic
+        assert not OptionType.STRING.is_symbolic
+
+
+class TestKconfigTree:
+    def test_add_and_lookup(self):
+        tree = KconfigTree()
+        tree.add(_option("FOO"))
+        assert "FOO" in tree
+        assert tree["FOO"].name == "FOO"
+
+    def test_duplicate_rejected(self):
+        tree = KconfigTree()
+        tree.add(_option("FOO"))
+        with pytest.raises(DuplicateOptionError):
+            tree.add(_option("FOO"))
+
+    def test_unknown_lookup_raises(self):
+        tree = KconfigTree()
+        with pytest.raises(UnknownOptionError):
+            tree["MISSING"]
+
+    def test_get_returns_none_for_missing(self):
+        assert KconfigTree().get("MISSING") is None
+
+    def test_len_and_iteration(self):
+        tree = KconfigTree()
+        tree.add_all([_option("A"), _option("B"), _option("C")])
+        assert len(tree) == 3
+        assert [o.name for o in tree] == ["A", "B", "C"]
+
+    def test_count_by_directory(self):
+        tree = KconfigTree()
+        tree.add(_option("A", directory="net"))
+        tree.add(_option("B", directory="net"))
+        tree.add(_option("C", directory="fs"))
+        assert tree.count_by_directory() == {"net": 2, "fs": 1}
+
+    def test_count_selected_by_directory(self):
+        tree = KconfigTree()
+        tree.add(_option("A", directory="net"))
+        tree.add(_option("B", directory="net"))
+        tree.add(_option("C", directory="fs"))
+        counts = tree.count_selected_by_directory(["A", "C"])
+        assert counts == {"net": 1, "fs": 1}
+
+    def test_count_selected_ignores_unknown_names(self):
+        tree = KconfigTree()
+        tree.add(_option("A", directory="net"))
+        counts = tree.count_selected_by_directory(["A", "NOPE"])
+        assert counts == {"net": 1}
+
+    def test_options_in_directory(self):
+        tree = KconfigTree()
+        tree.add(_option("A", directory="net"))
+        tree.add(_option("B", directory="fs"))
+        assert [o.name for o in tree.options_in("net")] == ["A"]
+        assert tree.options_in("sound") == []
+
+    def test_undefined_references_detected(self):
+        tree = KconfigTree()
+        tree.add(_option("A", depends_on=parse_expr("GHOST")))
+        tree.add(_option("B", selects=("PHANTOM",)))
+        undefined = tree.undefined_references()
+        assert undefined["A"] == {"GHOST"}
+        assert undefined["B"] == {"PHANTOM"}
+
+    def test_undefined_references_clean_tree(self):
+        tree = KconfigTree()
+        tree.add(_option("A"))
+        tree.add(_option("B", depends_on=parse_expr("A"), selects=("A",)))
+        assert tree.undefined_references() == {}
+
+    def test_kernel_version_recorded(self):
+        assert KconfigTree(kernel_version="4.0").kernel_version == "4.0"

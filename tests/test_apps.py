@@ -1,0 +1,122 @@
+"""Tests for the application registry (paper Table 3, Figure 5)."""
+
+import pytest
+
+from repro.apps.app import ProcessModel
+from repro.apps.registry import (
+    TOP20_APPS,
+    cumulative_option_growth,
+    get_app,
+    lupine_general_option_union,
+    top20_in_popularity_order,
+    total_downloads_billions,
+)
+
+#: Table 3's rightmost column, verbatim.
+PAPER_TABLE3 = {
+    "nginx": 13, "postgres": 10, "httpd": 13, "node": 5, "redis": 10,
+    "mongo": 11, "mysql": 9, "traefik": 8, "memcached": 10,
+    "hello-world": 0, "mariadb": 13, "golang": 0, "python": 0, "openjdk": 0,
+    "rabbitmq": 12, "php": 0, "wordpress": 9, "haproxy": 8, "influxdb": 11,
+    "elasticsearch": 12,
+}
+
+
+class TestTable3:
+    def test_exactly_twenty_apps(self):
+        assert len(TOP20_APPS) == 20
+
+    @pytest.mark.parametrize("name,count", sorted(PAPER_TABLE3.items()))
+    def test_option_counts_match_paper(self, name, count):
+        assert get_app(name).option_count == count
+
+    def test_popularity_order_is_descending(self):
+        downloads = [a.downloads_billions for a in top20_in_popularity_order()]
+        assert downloads == sorted(downloads, reverse=True)
+
+    def test_nginx_is_most_popular(self):
+        assert top20_in_popularity_order()[0].name == "nginx"
+
+    def test_unknown_app_raises_with_hint(self):
+        with pytest.raises(KeyError, match="known"):
+            get_app("doom")
+
+    def test_total_downloads_plausible(self):
+        assert 16 <= total_downloads_billions() <= 18  # paper's table sums
+
+
+class TestLupineGeneralUnion:
+    def test_union_is_exactly_19(self):
+        assert len(lupine_general_option_union()) == 19
+
+    def test_growth_curve_flattens_at_19(self):
+        growth = cumulative_option_growth()
+        assert growth[0] == 13  # nginx alone
+        assert growth[-1] == 19
+        assert growth == sorted(growth)  # monotone non-decreasing
+
+    def test_every_app_covered_by_union(self):
+        union = lupine_general_option_union()
+        for app in TOP20_APPS:
+            assert app.required_options <= union
+
+
+class TestPaperSpecifics:
+    def test_redis_needs_epoll_and_futex(self):
+        """Section 3.1.1: 'redis requires EPOLL and FUTEX by default'."""
+        redis = get_app("redis")
+        assert redis.requires("EPOLL")
+        assert redis.requires("FUTEX")
+
+    def test_nginx_additionally_needs_aio_and_eventfd(self):
+        nginx, redis = get_app("nginx"), get_app("redis")
+        assert nginx.requires("AIO") and nginx.requires("EVENTFD")
+        assert not redis.requires("AIO") and not redis.requires("EVENTFD")
+
+    def test_postgres_is_multiprocess_and_needs_sysvipc(self):
+        """Section 4.1: postgres needed CONFIG_SYSVIPC."""
+        postgres = get_app("postgres")
+        assert postgres.requires("SYSVIPC")
+        assert postgres.process_model is ProcessModel.MULTI_PROCESS
+        assert postgres.uses_fork_at_startup
+        assert not postgres.process_model.fits_unikernel
+
+    def test_language_runtimes_need_nothing(self):
+        for name in ("golang", "python", "openjdk", "php"):
+            assert get_app(name).option_count == 0
+
+    def test_hello_world_is_minimal(self):
+        hello = get_app("hello-world")
+        assert hello.option_count == 0
+        assert not hello.needs_network
+
+
+class TestSyscallConsistency:
+    def test_syscall_sets_cover_required_table1_options(self):
+        from repro.syscall.table import OPTION_SYSCALLS
+
+        for app in TOP20_APPS:
+            for option in app.required_options:
+                gated = OPTION_SYSCALLS.get(option)
+                if gated:
+                    assert set(gated) & app.syscalls, (
+                        f"{app.name} requires {option} but issues none of "
+                        f"its syscalls"
+                    )
+
+    def test_facilities_cover_non_syscall_options(self):
+        from repro.apps.registry import OPTION_FACILITIES
+
+        for app in TOP20_APPS:
+            for option in app.required_options:
+                if option in OPTION_FACILITIES:
+                    assert OPTION_FACILITIES[option] in app.facilities
+
+    def test_servers_issue_socket_syscalls(self):
+        for app in TOP20_APPS:
+            if app.needs_network:
+                assert "socket" in app.syscalls
+
+    def test_entrypoints_are_absolute(self):
+        for app in TOP20_APPS:
+            assert app.entrypoint[0].startswith("/")

@@ -1,0 +1,143 @@
+"""Tests for the block device and page cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.block.device import (
+    BlockDeviceError,
+    BlockRequest,
+    RequestKind,
+    VirtioBlockDevice,
+)
+from repro.block.pagecache import PAGE_KB, PageCache
+
+
+def _device(**kwargs):
+    return VirtioBlockDevice(capacity_mb=64, **kwargs)
+
+
+class TestDevice:
+    def test_read_costs_latency_plus_transfer(self):
+        device = _device()
+        small = device.read(0, 4)
+        large = _device().read(0, 64)
+        assert large > small
+
+    def test_flush_is_expensive(self):
+        device = _device()
+        read_ns = device.read(0, 4)
+        flush_ns = device.flush()
+        assert flush_ns > 5 * read_ns
+
+    def test_out_of_range_rejected(self):
+        device = _device()
+        with pytest.raises(BlockDeviceError, match="beyond end"):
+            device.read(device.capacity_sectors, 4)
+
+    def test_read_only_device_rejects_writes(self):
+        device = VirtioBlockDevice(capacity_mb=16, read_only=True)
+        with pytest.raises(BlockDeviceError, match="read-only"):
+            device.write(0, 4)
+        device.read(0, 4)  # reads fine
+
+    def test_invalid_requests(self):
+        with pytest.raises(BlockDeviceError):
+            BlockRequest(RequestKind.READ, -1, 4)
+        with pytest.raises(BlockDeviceError):
+            BlockRequest(RequestKind.WRITE, 0, 0)
+
+    def test_queue_batching_amortizes_latency(self):
+        """A deep virtqueue overlaps device latency across requests."""
+        batched = _device()
+        for index in range(16):
+            batched.submit(BlockRequest(RequestKind.READ, index * 8, 4))
+        batched.complete_all()
+        serial = _device()
+        for index in range(16):
+            serial.read(index * 8, 4)
+        assert batched.clock_ns < serial.clock_ns
+
+    def test_queue_overflow_applies_backpressure(self):
+        device = _device(queue_depth=4)
+        for index in range(6):  # exceeds depth; must not raise
+            device.submit(BlockRequest(RequestKind.READ, index * 8, 4))
+        device.complete_all()
+        assert device.stats["read"] == 6
+
+    def test_stats(self):
+        device = _device()
+        device.read(0, 4)
+        device.write(8, 4)
+        device.flush()
+        assert device.stats == {"read": 1, "write": 1, "flush": 1}
+
+
+class TestPageCache:
+    def test_second_read_hits(self):
+        cache = PageCache(_device())
+        first = cache.read(0, 4)
+        second = cache.read(0, 4)
+        assert second < first / 5
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_buffered_writes_touch_no_device(self):
+        device = _device()
+        cache = PageCache(device)
+        cache.write(0, 64)
+        assert device.stats["write"] == 0
+        assert len(cache.dirty_pages) == 16
+
+    def test_fsync_writes_back_and_flushes(self):
+        device = _device()
+        cache = PageCache(device)
+        cache.write(0, 16)
+        cache.fsync()
+        assert device.stats["write"] == 4
+        assert device.stats["flush"] == 1
+        assert not cache.dirty_pages
+
+    def test_fsync_dominates_buffered_write(self):
+        """The pgbench WAL mechanism: the sync, not the write, costs."""
+        cache = PageCache(_device())
+        write_ns = cache.write(0, 8)
+        fsync_ns = cache.fsync()
+        assert fsync_ns > 20 * write_ns
+
+    def test_lru_eviction_writes_back_dirty_victims(self):
+        device = _device()
+        cache = PageCache(device, capacity_pages=4)
+        cache.write(0, 4 * PAGE_KB)  # fill with dirty pages
+        cache.read(64, 4)            # evicts one dirty page
+        assert cache.writebacks == 1
+        assert device.stats["write"] == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PageCache(_device(), capacity_pages=0)
+
+    def test_multi_page_ranges(self):
+        cache = PageCache(_device())
+        cache.read(0, 12)  # three pages
+        assert cache.misses == 3
+        assert cache.cached_pages == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["read", "write", "fsync"]),
+                  st.integers(0, 120), st.integers(1, 24)),
+        min_size=1, max_size=40,
+    ))
+    def test_invariants_under_random_io(self, operations):
+        device = _device()
+        cache = PageCache(device, capacity_pages=16)
+        for kind, offset, size in operations:
+            if kind == "read":
+                cache.read(float(offset), float(size))
+            elif kind == "write":
+                cache.write(float(offset), float(size))
+            else:
+                cache.fsync()
+            assert cache.cached_pages <= cache.capacity_pages
+            assert cache.dirty_pages <= set(cache._pages)
+        cache.fsync()
+        assert not cache.dirty_pages

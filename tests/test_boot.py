@@ -1,0 +1,95 @@
+"""Tests for the boot simulator."""
+
+import pytest
+
+from repro.boot.bootsim import BootSimulator
+from repro.boot.phases import BootPhase, RootfsKind
+
+
+@pytest.fixture
+def simulator():
+    return BootSimulator(monitor_setup_ms=8.0)
+
+
+class TestPhases:
+    def test_all_phases_present(self, simulator, nokml_build):
+        report = simulator.boot(nokml_build.image)
+        for phase in BootPhase:
+            assert phase in report.phases_ms
+
+    def test_total_is_sum(self, simulator, nokml_build):
+        report = simulator.boot(nokml_build.image)
+        assert report.total_ms == pytest.approx(
+            sum(report.phases_ms.values())
+        )
+
+    def test_breakdown_renders(self, simulator, nokml_build):
+        text = simulator.boot(nokml_build.image).breakdown()
+        assert "clock-calibration" in text
+        assert "ms" in text
+
+
+class TestParavirt:
+    def test_paravirt_dominates_calibration(self, simulator, nokml_build,
+                                            lupine_build):
+        with_pv = simulator.boot(nokml_build.image)
+        without_pv = simulator.boot(lupine_build.image)
+        assert with_pv.phase_ms(BootPhase.CLOCK_CALIBRATION) < 3
+        assert without_pv.phase_ms(BootPhase.CLOCK_CALIBRATION) > 45
+
+    def test_kml_boots_slower_than_nokml(self, simulator, nokml_build,
+                                         lupine_build):
+        """Section 4.3: without PARAVIRT boot jumps to ~71 ms."""
+        kml = simulator.boot(lupine_build.image).total_ms
+        nokml = simulator.boot(nokml_build.image).total_ms
+        assert kml > 2 * nokml
+
+
+class TestConfigurationEffects:
+    def test_microvm_boots_slower_than_lupine(self, simulator, microvm_build,
+                                              nokml_build):
+        microvm = simulator.boot(microvm_build.image).total_ms
+        lupine = simulator.boot(nokml_build.image).total_ms
+        assert lupine < 0.5 * microvm  # paper: 59% faster
+
+    def test_paper_absolute_ranges(self, simulator, microvm_build,
+                                   nokml_build):
+        assert 50 <= simulator.boot(microvm_build.image).total_ms <= 62
+        assert 19 <= simulator.boot(nokml_build.image).total_ms <= 26
+
+    def test_general_costs_about_2ms_extra(self, simulator, nokml_build,
+                                           general_build):
+        # lupine-general-nokml needs its PARAVIRT sibling for a fair diff
+        from repro.core.variants import Variant, build_variant
+
+        general_nokml = build_variant(Variant.LUPINE_GENERAL_NOKML)
+        delta = (
+            simulator.boot(general_nokml.image).total_ms
+            - simulator.boot(nokml_build.image).total_ms
+        )
+        assert 0.5 <= delta <= 3.5  # paper: ~2 ms
+
+    def test_initcalls_scale_with_options(self, simulator, microvm_build,
+                                          nokml_build):
+        big = simulator.boot(microvm_build.image)
+        small = simulator.boot(nokml_build.image)
+        assert big.phase_ms(BootPhase.INITCALLS) > (
+            3 * small.phase_ms(BootPhase.INITCALLS)
+        )
+
+
+class TestRootfsKinds:
+    def test_zfs_is_an_order_of_magnitude_worse(self):
+        """Section 4.3: OSv's zfs vs read-only filesystem, 10x."""
+        assert RootfsKind.ZFS.mount_ms / RootfsKind.ROFS.mount_ms > 10
+
+    def test_rootfs_choice_changes_total(self, simulator, nokml_build):
+        ext2 = simulator.boot(nokml_build.image, rootfs=RootfsKind.EXT2)
+        zfs = simulator.boot(nokml_build.image, rootfs=RootfsKind.ZFS)
+        assert zfs.total_ms - ext2.total_ms == pytest.approx(
+            RootfsKind.ZFS.mount_ms - RootfsKind.EXT2.mount_ms
+        )
+
+    def test_system_label(self, simulator, nokml_build):
+        report = simulator.boot(nokml_build.image, system="mylabel")
+        assert report.system == "mylabel"

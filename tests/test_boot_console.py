@@ -1,0 +1,66 @@
+"""Tests for the dmesg-style boot console."""
+
+import pytest
+
+from repro.boot.bootsim import BootSimulator
+from repro.boot.console import dmesg, render_console
+
+
+@pytest.fixture
+def simulator():
+    return BootSimulator(monitor_setup_ms=8.0)
+
+
+class TestConsoleContent:
+    def test_paravirt_kernel_logs_kvm_clock(self, simulator, nokml_build):
+        text = dmesg(nokml_build.image, simulator.boot(nokml_build.image))
+        assert "kvm-clock" in text
+        assert "PIT calibration" not in text
+
+    def test_kml_kernel_logs_slow_calibration_and_ring0(self, simulator,
+                                                        lupine_build):
+        text = dmesg(lupine_build.image, simulator.boot(lupine_build.image))
+        assert "PIT calibration" in text
+        assert "ring 0" in text
+
+    def test_microvm_logs_its_subsystems(self, simulator, microvm_build):
+        text = dmesg(microvm_build.image, simulator.boot(microvm_build.image))
+        for marker in ("PCI: Probing", "ACPI", "SELinux", "audit",
+                       "nf_conntrack", "smp: Bringing up"):
+            assert marker in text
+
+    def test_lupine_omits_removed_subsystems(self, simulator, nokml_build):
+        text = dmesg(nokml_build.image, simulator.boot(nokml_build.image))
+        for marker in ("PCI: Probing", "SELinux", "audit", "nf_conntrack"):
+            assert marker not in text
+        assert "Hierarchical RCU implementation (UP)" in text
+
+    def test_boot_complete_is_final_line(self, simulator, nokml_build):
+        lines = render_console(
+            nokml_build.image, simulator.boot(nokml_build.image)
+        )
+        assert "boot complete" in lines[-1].text
+
+    def test_rootfs_mount_logged(self, simulator, nokml_build):
+        text = dmesg(nokml_build.image, simulator.boot(nokml_build.image))
+        assert "EXT2-fs" in text
+
+
+class TestTimestamps:
+    def test_monotone_nondecreasing(self, simulator, microvm_build):
+        lines = render_console(
+            microvm_build.image, simulator.boot(microvm_build.image)
+        )
+        stamps = [line.timestamp_ms for line in lines]
+        assert stamps == sorted(stamps)
+
+    def test_last_stamp_within_total(self, simulator, microvm_build):
+        report = simulator.boot(microvm_build.image)
+        lines = render_console(microvm_build.image, report)
+        assert lines[-1].timestamp_ms <= report.total_ms
+
+    def test_rendering_format(self, simulator, nokml_build):
+        line = render_console(
+            nokml_build.image, simulator.boot(nokml_build.image)
+        )[0]
+        assert str(line).startswith("[")

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_apps_lists_twenty(self, capsys):
+        assert main(["apps"]) == 0
+        output = capsys.readouterr().out
+        assert "nginx" in output and "elasticsearch" in output
+        assert len(output.strip().splitlines()) == 21  # header + 20
+
+    def test_build(self, capsys):
+        assert main(["build", "redis"]) == 0
+        output = capsys.readouterr().out
+        assert "kernel image" in output
+        assert "rootfs" in output
+
+    def test_build_variant_flag(self, capsys):
+        assert main(["build", "redis", "--variant", "lupine-nokml"]) == 0
+        assert "kml=no" in capsys.readouterr().out
+
+    def test_boot_succeeds(self, capsys):
+        assert main(["boot", "nginx"]) == 0
+        output = capsys.readouterr().out
+        assert "clock-calibration" in output
+        assert "nginx: ready" in output
+
+    def test_config(self, capsys):
+        assert main(["config", "redis"]) == 0
+        output = capsys.readouterr().out
+        assert "+ CONFIG_EPOLL" in output
+
+    def test_config_full_fragment(self, capsys):
+        assert main(["config", "hello-world", "--full"]) == 0
+        assert "CONFIG_PRINTK=y" in capsys.readouterr().out
+
+    def test_unknown_app_errors(self):
+        with pytest.raises(KeyError):
+            main(["build", "doom"])
+
+    def test_experiment_table(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "FUTEX" in capsys.readouterr().out
+
+    def test_experiment_figure(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestExtendedCli:
+    def test_trace(self, capsys):
+        assert main(["trace", "redis"]) == 0
+        output = capsys.readouterr().out
+        assert "derived options:" in output
+        assert "INET" in output
+
+    def test_trace_counts(self, capsys):
+        assert main(["trace", "nginx", "--counts"]) == 0
+        output = capsys.readouterr().out
+        assert "openat" in output
+
+    def test_footprint(self, capsys):
+        assert main(["footprint", "redis"]) == 0
+        output = capsys.readouterr().out
+        assert "MB minimum" in output
+
+    def test_lmbench(self, capsys):
+        assert main(["lmbench"]) == 0
+        assert "null call" in capsys.readouterr().out
+
+    def test_dmesg(self, capsys):
+        assert main(["dmesg", "redis"]) == 0
+        output = capsys.readouterr().out
+        assert "boot complete" in output
+        assert "ring 0" in output  # default variant is KML
+
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        output = capsys.readouterr().out
+        assert "FAIL" not in output
+        assert output.count("[ok ]") == 9

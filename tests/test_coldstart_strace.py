@@ -1,0 +1,81 @@
+"""Tests for the cold-start workload and strace formatting."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.tracing import trace_app_run
+from repro.syscall.strace import (
+    format_summary,
+    format_trace,
+    parse_trace,
+    roundtrip,
+)
+from repro.workloads.coldstart import run_cold_starts
+
+
+class TestColdStart:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_cold_starts()
+
+    def test_all_redis_capable_systems_present(self, results):
+        assert {"microvm", "lupine-nokml", "hermitux", "osv", "rump"} <= set(
+            results
+        )
+
+    def test_lupine_beats_microvm(self, results):
+        assert (results["lupine-nokml"].total_ms
+                < 0.55 * results["microvm"].total_ms)
+
+    def test_boot_dominates_cold_start(self, results):
+        for result in results.values():
+            assert result.boot_ms > result.first_request_ms
+
+    def test_total_is_sum(self, results):
+        result = results["lupine-nokml"]
+        assert result.total_ms == pytest.approx(
+            result.boot_ms + result.app_init_ms + result.first_request_ms
+        )
+
+    def test_lupine_in_unikernel_ballpark(self, results):
+        unikernel_best = min(
+            results[name].total_ms for name in ("hermitux", "osv", "rump")
+        )
+        assert results["lupine-nokml"].total_ms < 2.5 * unikernel_best
+
+
+class TestStrace:
+    def test_format_and_parse_roundtrip(self):
+        events = ["execve", "brk", "openat", "read", "close", "epoll_wait"]
+        parsed, lossless = roundtrip(events)
+        assert lossless
+        assert parsed == events
+
+    def test_parse_skips_noise(self):
+        text = (
+            "execve(\"/bin/app\", ...) = 0\n"
+            "--- SIGCHLD {si_signo=SIGCHLD} ---\n"
+            "+++ exited with 0 +++\n"
+            "read(3, \"x\", 1) = 1\n"
+        )
+        assert parse_trace(text) == ["execve", "read"]
+
+    def test_parse_skips_unknown_syscalls(self):
+        assert parse_trace("frobnicate() = 0\nread() = 0\n") == ["read"]
+
+    def test_strict_parse_raises_on_unknown(self):
+        with pytest.raises(ValueError, match="frobnicate"):
+            parse_trace("frobnicate() = 0\n", strict=True)
+
+    def test_summary_table(self):
+        trace = trace_app_run(get_app("redis"))
+        summary = format_summary(trace.counts)
+        assert "total" in summary
+        assert "read" in summary
+        assert "%" in summary
+
+    def test_real_trace_roundtrips(self):
+        trace = trace_app_run(get_app("nginx"))
+        parsed, lossless = roundtrip(trace.events)
+        assert lossless
+        assert len(parsed) == len(trace)

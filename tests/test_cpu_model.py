@@ -1,0 +1,100 @@
+"""Tests for the CPU cost model: entry mechanisms, KPTI, hooks, -Os."""
+
+import pytest
+
+from repro.syscall.cpu import (
+    CpuCostModel,
+    EntryMechanism,
+    INT80_ENTRY_NS,
+    KML_CALL_NS,
+    KPTI_SWITCH_NS,
+    SYSCALL_ENTRY_NS,
+)
+
+
+class TestEntryMechanisms:
+    def test_kml_call_is_cheapest(self):
+        assert KML_CALL_NS < SYSCALL_ENTRY_NS < INT80_ENTRY_NS
+
+    def test_kml_does_not_cross_privilege(self):
+        assert not EntryMechanism.KML_CALL.crosses_privilege
+        assert EntryMechanism.SYSCALL.crosses_privilege
+        assert EntryMechanism.INT80.crosses_privilege
+
+
+class TestHooks:
+    def test_no_options_no_hooks(self):
+        model = CpuCostModel.for_options([])
+        assert model.syscall_hook_ns == 0
+        assert model.data_path_hook_ns == 0
+
+    def test_microvm_options_add_hooks(self, microvm):
+        model = CpuCostModel.for_options(microvm.enabled)
+        assert model.syscall_hook_ns > 10
+        assert model.data_path_hook_ns > 20
+
+    def test_data_path_hooks_only_hit_data_syscalls(self, microvm):
+        model = CpuCostModel.for_options(microvm.enabled)
+        null = model.syscall_ns(2.0, data_path=False)
+        write = model.syscall_ns(2.0, data_path=True)
+        assert write - null == pytest.approx(model.data_path_hook_ns)
+
+
+class TestKpti:
+    def test_kpti_requires_option(self):
+        with pytest.raises(ValueError):
+            CpuCostModel.for_options([], kpti=True)
+
+    def test_kpti_charges_two_switches(self):
+        model = CpuCostModel.for_options(
+            ["PAGE_TABLE_ISOLATION"], kpti=True
+        )
+        base = CpuCostModel.for_options([])
+        delta = model.entry_exit_ns() - base.entry_exit_ns()
+        assert delta == pytest.approx(2 * KPTI_SWITCH_NS)
+
+    def test_kpti_gives_order_of_magnitude_null_slowdown(self):
+        """Section 3.1.2: 10x syscall latency slowdown with KPTI."""
+        base = CpuCostModel.for_options([])
+        kpti = CpuCostModel.for_options(["PAGE_TABLE_ISOLATION"], kpti=True)
+        null_base = base.syscall_ns(2.0, data_path=False)
+        null_kpti = kpti.syscall_ns(2.0, data_path=False)
+        assert 8.0 <= null_kpti / null_base <= 12.0
+
+    def test_kml_entry_skips_kpti(self):
+        model = CpuCostModel.for_options(
+            ["PAGE_TABLE_ISOLATION"], entry=EntryMechanism.KML_CALL, kpti=True
+        )
+        assert model.entry_exit_ns() == pytest.approx(KML_CALL_NS)
+
+
+class TestSizeOptimization:
+    def test_os_slows_kernel_work_only(self):
+        fast = CpuCostModel.for_options([])
+        small = CpuCostModel.for_options([], size_optimized=True)
+        assert small.kernel_work_factor > 1.0
+        # entry cost is hardware, not compiled code
+        assert small.entry_exit_ns() == fast.entry_exit_ns()
+        assert small.syscall_ns(100, False) > fast.syscall_ns(100, False)
+
+
+class TestContextSwitch:
+    def test_process_switch_not_slower_than_thread(self):
+        """The Figure 12 finding, at the cost-model level."""
+        model = CpuCostModel.for_options([])
+        thread = model.context_switch_ns(same_address_space=True)
+        process = model.context_switch_ns(same_address_space=False)
+        assert process <= thread * 1.03
+
+    def test_kpti_penalizes_cross_space_switches(self):
+        model = CpuCostModel.for_options(
+            ["PAGE_TABLE_ISOLATION"], kpti=True
+        )
+        thread = model.context_switch_ns(same_address_space=True)
+        process = model.context_switch_ns(same_address_space=False)
+        assert process > thread
+
+    def test_debug_options_inflate_switches(self, microvm):
+        lean = CpuCostModel.for_options([])
+        heavy = CpuCostModel.for_options(microvm.enabled)
+        assert heavy.context_switch_ns(True) > lean.context_switch_ns(True)

@@ -1,0 +1,101 @@
+"""Tests for the ELF loader over rootfs + address spaces."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.lupine import LupineBuilder
+from repro.core.variants import Variant
+from repro.mm.address_space import AddressSpace, PhysicalMemory
+from repro.mm.elf import ElfError, MUSL_LOADER, load_elf, parse_elf
+from repro.rootfs.container import FileEntry
+from repro.rootfs.ext2 import build_ext2
+
+
+def _space(memory_mb=64):
+    return AddressSpace(
+        asid=1, physical=PhysicalMemory(total_bytes=memory_mb * 1024 * 1024)
+    )
+
+
+@pytest.fixture(scope="module")
+def redis_rootfs():
+    return LupineBuilder(variant=Variant.LUPINE).build_for_app(
+        get_app("redis")
+    ).rootfs
+
+
+class TestParse:
+    def test_segments_cover_file(self, redis_rootfs):
+        binary = parse_elf(redis_rootfs, "/usr/bin/redis-server")
+        file_backed = sum(
+            s.size_kb for s in binary.segments if s.file_backed
+        )
+        assert file_backed == pytest.approx(binary.file_kb, rel=0.01)
+        assert binary.interpreter == MUSL_LOADER
+
+    def test_static_binary_has_no_interpreter(self, redis_rootfs):
+        binary = parse_elf(redis_rootfs, "/usr/bin/redis-server",
+                           dynamic=False)
+        assert binary.interpreter is None
+
+    def test_non_executable_rejected(self, redis_rootfs):
+        with pytest.raises(ElfError, match="not executable"):
+            parse_elf(redis_rootfs, "/etc/redis/redis.conf")
+
+    def test_directory_rejected(self, redis_rootfs):
+        with pytest.raises(ElfError, match="directory"):
+            parse_elf(redis_rootfs, "/usr/bin")
+
+    def test_symlinks_resolved(self):
+        rootfs = build_ext2([
+            FileEntry("/bin/busybox", 800, executable=True),
+            FileEntry("/bin/sh", 0, symlink_to="/bin/busybox"),
+        ])
+        binary = parse_elf(rootfs, "/bin/sh")
+        assert binary.path == "/bin/busybox"
+
+
+class TestLoad:
+    def test_load_maps_all_segments(self, redis_rootfs):
+        space = _space()
+        loaded = load_elf(space, redis_rootfs, "/usr/bin/redis-server")
+        assert {m.name.rsplit(":", 1)[1] for m in loaded.mappings} == {
+            "text", "rodata", "data", "bss"
+        }
+        assert loaded.interpreter_mapping is not None
+
+    def test_resident_far_below_mapped(self, redis_rootfs):
+        """Figure 8's mechanism: exec touches a sliver of the binary."""
+        space = _space()
+        loaded = load_elf(space, redis_rootfs, "/usr/bin/redis-server")
+        assert space.resident_kb < 0.4 * loaded.binary.mapped_kb
+
+    def test_static_load_skips_interpreter(self, redis_rootfs):
+        space = _space()
+        loaded = load_elf(space, redis_rootfs, "/usr/bin/redis-server",
+                          dynamic=False)
+        assert loaded.interpreter_mapping is None
+
+    def test_dynamic_load_without_loader_fails(self):
+        rootfs = build_ext2(
+            [FileEntry("/app", 500, executable=True)]
+        )
+        with pytest.raises(ElfError, match="interpreter"):
+            load_elf(_space(), rootfs, "/app")
+
+    def test_mapping_lookup_helper(self, redis_rootfs):
+        loaded = load_elf(_space(), redis_rootfs, "/usr/bin/redis-server")
+        assert loaded.mapping("text").page_count > 0
+        with pytest.raises(KeyError):
+            loaded.mapping("tls")
+
+    def test_huge_binary_loads_in_small_memory(self):
+        """A 300 MB binary execs fine in a 64 MB guest (lazy loading)."""
+        rootfs = build_ext2([
+            FileEntry("/usr/bin/elasticsearch", 300 * 1024, executable=True),
+            FileEntry(MUSL_LOADER, 584, executable=True),
+        ])
+        space = _space(memory_mb=64)
+        loaded = load_elf(space, rootfs, "/usr/bin/elasticsearch")
+        assert loaded.binary.mapped_kb > 300 * 1024
+        assert space.resident_kb < 64 * 1024

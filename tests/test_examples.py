@@ -1,0 +1,35 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are part of the public API's contract; these tests catch doc rot
+(an API change that breaks a walkthrough) the moment it happens.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = _load_module(path)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{path.name} produced no output"
+
+
+def test_all_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "config_diversity", "graceful_degradation",
+            "unikernel_comparison", "database_unikernel"} <= names

@@ -1,0 +1,122 @@
+"""Tests for futexes and POSIX semaphores."""
+
+from repro.sched.futex import FutexTable, PosixSemaphore
+from repro.sched.scheduler import Scheduler
+from repro.sched.smp import SmpModel
+from repro.sched.task import TaskState
+from repro.syscall.cpu import CpuCostModel
+
+
+def _setup(smp=False):
+    scheduler = Scheduler(
+        cost_model=CpuCostModel.for_options([]),
+        smp=SmpModel(smp_enabled=smp, cpus=1),
+    )
+    return scheduler, FutexTable(scheduler)
+
+
+class TestFutex:
+    def test_wait_sleeps_on_expected_value(self):
+        scheduler, futexes = _setup()
+        task = scheduler.spawn("w")
+        assert futexes.wait(task, 0x1000, expected=0)
+        assert task.state is TaskState.SLEEPING
+        assert futexes.waiters(0x1000) == 1
+
+    def test_wait_eagain_when_value_changed(self):
+        scheduler, futexes = _setup()
+        task = scheduler.spawn("w")
+        futexes.store(0x1000, 7)
+        assert not futexes.wait(task, 0x1000, expected=0)
+        assert task.state is not TaskState.SLEEPING
+
+    def test_wake_fifo_order(self):
+        scheduler, futexes = _setup()
+        first = scheduler.spawn("first")
+        second = scheduler.spawn("second")
+        futexes.wait(first, 0x1000, 0)
+        futexes.wait(second, 0x1000, 0)
+        assert futexes.wake(0x1000, 1) == 1
+        assert first.state is TaskState.READY
+        assert second.state is TaskState.SLEEPING
+
+    def test_wake_count_limits(self):
+        scheduler, futexes = _setup()
+        tasks = [scheduler.spawn(f"w{i}") for i in range(3)]
+        for task in tasks:
+            futexes.wait(task, 0x2000, 0)
+        assert futexes.wake(0x2000, 2) == 2
+        assert futexes.waiters(0x2000) == 1
+
+    def test_wake_empty_queue(self):
+        _, futexes = _setup()
+        assert futexes.wake(0x3000) == 0
+
+    def test_operations_charge_time(self):
+        scheduler, futexes = _setup()
+        task = scheduler.spawn("w")
+        before = scheduler.clock_ns
+        futexes.wait(task, 0x1000, 0)
+        assert scheduler.clock_ns > before
+
+    def test_smp_charges_more(self):
+        def cost(smp):
+            scheduler, futexes = _setup(smp)
+            task = scheduler.spawn("w")
+            before = scheduler.clock_ns
+            futexes.wait(task, 0x1000, 0)
+            return scheduler.clock_ns - before
+
+        assert cost(True) > cost(False)
+
+    def test_counters(self):
+        scheduler, futexes = _setup()
+        task = scheduler.spawn("w")
+        futexes.wait(task, 0x1000, 0)
+        futexes.wake(0x1000)
+        assert futexes.wait_count == 1
+        assert futexes.wake_count == 1
+
+
+class TestPosixSemaphore:
+    def test_initial_value(self):
+        _, futexes = _setup()
+        semaphore = PosixSemaphore(futexes, address=0x100, initial=3)
+        assert semaphore.value == 3
+
+    def test_uncontended_wait_decrements(self):
+        scheduler, futexes = _setup()
+        semaphore = PosixSemaphore(futexes, address=0x100, initial=1)
+        task = scheduler.spawn("t")
+        assert semaphore.wait(task)
+        assert semaphore.value == 0
+        assert task.state is not TaskState.SLEEPING
+
+    def test_contended_wait_sleeps(self):
+        scheduler, futexes = _setup()
+        semaphore = PosixSemaphore(futexes, address=0x100, initial=0)
+        task = scheduler.spawn("t")
+        assert not semaphore.wait(task)
+        assert task.state is TaskState.SLEEPING
+
+    def test_post_wakes_waiter(self):
+        scheduler, futexes = _setup()
+        semaphore = PosixSemaphore(futexes, address=0x100, initial=0)
+        task = scheduler.spawn("t")
+        semaphore.wait(task)
+        semaphore.post()
+        assert task.state is TaskState.READY
+        assert semaphore.try_consume_after_wake()
+        assert semaphore.value == 0
+
+    def test_post_without_waiters_accumulates(self):
+        _, futexes = _setup()
+        semaphore = PosixSemaphore(futexes, address=0x100, initial=0)
+        semaphore.post()
+        semaphore.post()
+        assert semaphore.value == 2
+
+    def test_try_consume_fails_on_zero(self):
+        _, futexes = _setup()
+        semaphore = PosixSemaphore(futexes, address=0x100, initial=0)
+        assert not semaphore.try_consume_after_wake()

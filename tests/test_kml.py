@@ -1,0 +1,69 @@
+"""Tests for the KML patch and patched musl libc."""
+
+import pytest
+
+from repro.kml.libc import LibcVariant, MuslLibc
+from repro.kml.patch import KmlPatch, PatchError
+from repro.syscall.cpu import EntryMechanism
+
+
+class TestKmlPatch:
+    def test_applies_to_linux_4_0(self):
+        tree = KmlPatch().apply("4.0")
+        assert "KERNEL_MODE_LINUX" in tree
+
+    def test_does_not_apply_elsewhere(self):
+        """Section 4: 'Linux 4.0 is the most recent available version'."""
+        with pytest.raises(PatchError):
+            KmlPatch().apply("4.1")
+
+    def test_lupine_modification_elevates_everything(self):
+        patch = KmlPatch(all_processes_kernel_mode=True)
+        assert patch.runs_in_kernel_mode("/usr/bin/redis-server")
+        assert patch.runs_in_kernel_mode("/bin/sh")
+
+    def test_upstream_kml_uses_trusted_path(self):
+        patch = KmlPatch(all_processes_kernel_mode=False)
+        assert patch.runs_in_kernel_mode("/trusted/bin/redis-server")
+        assert not patch.runs_in_kernel_mode("/usr/bin/redis-server")
+
+    def test_kml_option_conflicts_with_paravirt(self):
+        from repro.kconfig.resolver import Resolver
+
+        tree = KmlPatch().apply("4.0")
+        config = Resolver(tree).resolve_names(
+            ["X86_64", "PARAVIRT", "KERNEL_MODE_LINUX"]
+        )
+        assert "KERNEL_MODE_LINUX" not in config  # demoted by !PARAVIRT
+        config = Resolver(tree).resolve_names(["X86_64", "KERNEL_MODE_LINUX"])
+        assert "KERNEL_MODE_LINUX" in config
+
+
+class TestMuslLibc:
+    def test_variants(self):
+        assert MuslLibc(kml_patched=False).variant is LibcVariant.MUSL
+        assert MuslLibc(kml_patched=True).variant is LibcVariant.MUSL_KML
+
+    def test_patched_libc_on_kml_kernel_uses_call(self):
+        libc = MuslLibc(kml_patched=True)
+        assert libc.entry_mechanism(True) is EntryMechanism.KML_CALL
+
+    def test_patched_libc_falls_back_without_kml_kernel(self):
+        libc = MuslLibc(kml_patched=True)
+        assert libc.entry_mechanism(False) is EntryMechanism.SYSCALL
+
+    def test_unpatched_libc_always_syscall(self):
+        libc = MuslLibc(kml_patched=False)
+        assert libc.entry_mechanism(True) is EntryMechanism.SYSCALL
+
+    def test_dynamic_binaries_need_no_recompilation(self):
+        """Section 3.2: patched libc is simply loaded."""
+        libc = MuslLibc(kml_patched=True)
+        assert libc.can_run_binary(statically_linked=False)
+
+    def test_static_binaries_must_be_recompiled(self):
+        libc = MuslLibc(kml_patched=True)
+        assert not libc.can_run_binary(statically_linked=True)
+        assert libc.can_run_binary(
+            statically_linked=True, recompiled_against_kml=True
+        )

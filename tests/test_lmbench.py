@@ -1,0 +1,97 @@
+"""Tests for the lmbench micro-benchmark suite."""
+
+import pytest
+
+from repro.syscall import lmbench
+from repro.syscall.dispatch import SyscallEngine
+from repro.syscall.cpu import EntryMechanism
+
+
+def _engine(options=("EPOLL",), entry=EntryMechanism.SYSCALL):
+    return SyscallEngine.for_config(options, entry=entry)
+
+
+class TestLatencies:
+    def test_null_is_cheapest(self):
+        engine = _engine()
+        null = lmbench.null_latency_us(_engine())
+        read = lmbench.read_latency_us(_engine())
+        write = lmbench.write_latency_us(_engine())
+        assert null < write <= read
+
+    def test_values_in_sub_microsecond_range(self):
+        assert 0.01 < lmbench.null_latency_us(_engine()) < 0.1
+
+    def test_open_close_more_expensive_than_stat(self):
+        engine = _engine()
+        assert lmbench.open_close_latency_us(engine) > (
+            lmbench.stat_latency_us(engine)
+        )
+
+    def test_fork_exec_sh_ordering(self):
+        """Table 5 ordering: fork < exec < sh."""
+        engine = _engine()
+        fork = lmbench.fork_latency_us(engine)
+        execp = lmbench.exec_latency_us(engine)
+        sh = lmbench.sh_latency_us(engine)
+        assert fork < execp < sh
+
+
+class TestContextSwitchMatrix:
+    def test_larger_working_sets_cost_more(self):
+        engine = _engine()
+        assert lmbench.context_switch_us(engine, 2, 64) > (
+            lmbench.context_switch_us(engine, 2, 0)
+        )
+
+    def test_more_processes_cost_more(self):
+        engine = _engine()
+        assert lmbench.context_switch_us(engine, 16, 16) > (
+            lmbench.context_switch_us(engine, 2, 16)
+        )
+
+    def test_requires_two_processes(self):
+        with pytest.raises(ValueError):
+            lmbench.context_switch_us(_engine(), 1, 0)
+
+
+class TestKmlAmortization:
+    def test_improvement_declines_monotonically(self):
+        points = []
+        for iterations in (0, 40, 80, 160):
+            kml = SyscallEngine.for_config((), entry=EntryMechanism.KML_CALL)
+            nokml = SyscallEngine.for_config((), entry=EntryMechanism.SYSCALL)
+            points.append(lmbench.kml_improvement(kml, nokml, iterations))
+        assert points == sorted(points, reverse=True)
+
+    def test_paper_endpoints(self):
+        """~40% at zero iterations, <5% at 160 (Figure 10)."""
+        kml = SyscallEngine.for_config((), entry=EntryMechanism.KML_CALL)
+        nokml = SyscallEngine.for_config((), entry=EntryMechanism.SYSCALL)
+        at_zero = lmbench.kml_improvement(kml, nokml, 0)
+        assert 0.35 <= at_zero <= 0.45
+        kml.reset_clock(), nokml.reset_clock()
+        at_160 = lmbench.kml_improvement(kml, nokml, 160)
+        assert at_160 < 0.05
+
+
+class TestSuite:
+    def test_full_suite_has_all_table5_rows(self):
+        report = lmbench.run_suite(_engine(), "test", net_stack_ns=700)
+        for row in ("null call", "stat", "open clos", "fork proc",
+                    "2p/0K ctxsw", "16p/64K ctxsw", "Pipe", "AF UNIX",
+                    "UDP", "TCP", "TCP conn", "0K Create", "Mmap Latency",
+                    "Page Fault"):
+            assert row in report.latencies_us
+        for row in ("Pipe", "TCP", "File reread", "Mem read", "Mem write"):
+            assert row in report.bandwidths_mb_s
+
+    def test_row_accessor(self):
+        report = lmbench.run_suite(_engine(), "test", net_stack_ns=700)
+        assert report.row("null call") == report.latencies_us["null call"]
+        assert report.row("Mem read") == report.bandwidths_mb_s["Mem read"]
+
+    def test_bandwidths_positive_and_sane(self):
+        report = lmbench.run_suite(_engine(), "test", net_stack_ns=700)
+        for name, value in report.bandwidths_mb_s.items():
+            assert 500 < value < 30000, name

@@ -1,0 +1,63 @@
+"""Tests for manifest generation and option derivation."""
+
+import pytest
+
+from repro.apps.registry import TOP20_APPS, get_app
+from repro.core.manifest import (
+    ApplicationManifest,
+    derive_options,
+    generate_manifest,
+    manifest_from_trace,
+)
+
+
+class TestGeneration:
+    def test_manifest_mirrors_app(self):
+        redis = get_app("redis")
+        manifest = generate_manifest(redis)
+        assert manifest.app_name == "redis"
+        assert manifest.syscalls == redis.syscalls
+        assert manifest.needs_network
+
+    def test_derivation_matches_hand_derived_config_for_all_apps(self):
+        """The paper's error-message-driven derivation, automated: must
+        produce exactly Table 3's per-app option sets."""
+        for app in TOP20_APPS:
+            derived = derive_options(generate_manifest(app))
+            assert derived == app.required_options, app.name
+
+
+class TestValidation:
+    def test_unknown_syscall_rejected(self):
+        with pytest.raises(ValueError, match="unknown syscalls"):
+            ApplicationManifest("x", syscalls=frozenset({"frobnicate"}))
+
+    def test_unknown_facility_rejected(self):
+        with pytest.raises(ValueError, match="unknown facilities"):
+            ApplicationManifest(
+                "x", syscalls=frozenset(), facilities=frozenset({"warp:9"})
+            )
+
+
+class TestTraceDriven:
+    def test_trace_deduplicates(self):
+        manifest = manifest_from_trace(
+            "custom", ["read", "read", "epoll_wait"], ["socket:inet"]
+        )
+        assert manifest.syscalls == {"read", "epoll_wait"}
+        assert manifest.needs_network
+
+    def test_trace_derivation(self):
+        manifest = manifest_from_trace(
+            "custom",
+            ["read", "write", "futex", "epoll_wait", "timerfd_create"],
+            ["socket:inet", "mount:proc"],
+        )
+        assert derive_options(manifest) == {
+            "FUTEX", "EPOLL", "TIMERFD", "INET", "PROC_FS"
+        }
+
+    def test_ungated_syscalls_imply_nothing(self):
+        manifest = manifest_from_trace("tiny", ["read", "write", "getpid"])
+        assert derive_options(manifest) == frozenset()
+        assert not manifest.needs_network

@@ -1,0 +1,91 @@
+"""Tests for the table/figure renderers."""
+
+import pytest
+
+from repro.metrics.reporting import (
+    Figure,
+    Table,
+    render_figure,
+    render_markdown_table,
+    render_table,
+)
+
+
+class TestTable:
+    def test_add_row_checks_arity(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_alignment(self):
+        table = Table("Title", ["name", "value"])
+        table.add_row("x", 1.5)
+        table.add_row("longer-name", 22000.0)
+        text = render_table(table)
+        assert "Title" in text
+        assert "longer-name" in text
+        assert "22,000.0" in text
+
+    def test_none_renders_as_dash(self):
+        table = Table("t", ["a"])
+        table.add_row(None)
+        assert "-" in render_table(table).splitlines()[-1]
+
+    def test_small_floats_get_precision(self):
+        table = Table("t", ["v"])
+        table.add_row(0.0032)
+        assert "0.00320" in render_table(table)
+
+    def test_markdown(self):
+        table = Table("T", ["a", "b"])
+        table.add_row("x", 2)
+        markdown = render_markdown_table(table)
+        assert markdown.startswith("**T**")
+        assert "| x | 2 |" in markdown
+
+
+class TestFigure:
+    def test_bars_scale_to_peak(self):
+        figure = Figure("F", "x", "y")
+        figure.add_series("s", [("a", 10.0), ("b", 5.0)])
+        text = render_figure(figure, bar_width=10)
+        lines = text.splitlines()
+        bar_a = next(l for l in lines if l.strip().startswith("a"))
+        bar_b = next(l for l in lines if l.strip().startswith("b"))
+        assert bar_a.count("#") == 10
+        assert bar_b.count("#") == 5
+
+    def test_none_and_inf_render_na(self):
+        figure = Figure("F", "x", "y")
+        figure.add_series("s", [("a", None), ("b", float("inf")),
+                               ("c", 1.0)])
+        text = render_figure(figure)
+        assert text.count("N/A") == 2
+
+    def test_multiple_series(self):
+        figure = Figure("F", "x", "y")
+        figure.add_series("one", [("a", 1.0)])
+        figure.add_series("two", [("a", 2.0)])
+        text = render_figure(figure)
+        assert "[one]" in text and "[two]" in text
+
+
+class TestDataExport:
+    def test_numeric_roundtrip(self):
+        from repro.metrics.dataexport import figure_to_dat, parse_dat
+
+        figure = Figure("F", "x", "y")
+        figure.add_series("s1", [(1, 2.0), (2, 4.0)])
+        figure.add_series("s2", [(1, 8.0)])
+        parsed = parse_dat(figure_to_dat(figure))
+        assert parsed == [[(1.0, 2.0), (2.0, 4.0)], [(1.0, 8.0)]]
+
+    def test_categorical_and_nan(self):
+        from repro.metrics.dataexport import figure_to_dat, parse_dat
+
+        figure = Figure("F", "system", "MB")
+        figure.add_series("size", [("microvm", 14.6), ("hermitux", None)])
+        text = figure_to_dat(figure)
+        assert '"microvm"' in text and "nan" in text
+        parsed = parse_dat(text)
+        assert parsed[0][0] == ("microvm", 14.6)

@@ -1,0 +1,151 @@
+"""Tests for the memory substrate: paging, OOM, footprint search."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mm.address_space import (
+    AddressSpace,
+    OutOfMemoryError,
+    PAGE_SIZE,
+    PhysicalMemory,
+)
+from repro.mm.footprint import measure_min_memory_mb
+
+
+def _space(memory_mb=16):
+    physical = PhysicalMemory(total_bytes=memory_mb * 1024 * 1024)
+    return AddressSpace(asid=1, physical=physical), physical
+
+
+class TestPhysicalMemory:
+    def test_page_accounting(self):
+        physical = PhysicalMemory(total_bytes=1024 * 1024)
+        assert physical.total_pages == 256
+        physical.allocate_frame()
+        assert physical.allocated_pages == 1
+        assert physical.free_pages == 255
+
+    def test_exhaustion(self):
+        physical = PhysicalMemory(total_bytes=2 * PAGE_SIZE)
+        physical.allocate_frame()
+        physical.allocate_frame()
+        with pytest.raises(OutOfMemoryError):
+            physical.allocate_frame()
+
+    def test_reserve_kb_rounds_up(self):
+        physical = PhysicalMemory(total_bytes=1024 * 1024)
+        physical.reserve_kb(5.0)  # 5 KiB -> 2 pages
+        assert physical.allocated_pages == 2
+
+
+class TestDemandPaging:
+    def test_lazy_mapping_allocates_nothing(self):
+        space, physical = _space()
+        space.mmap(1024, name="app")
+        assert physical.allocated_pages == 0
+        assert space.resident_pages == 0
+
+    def test_eager_mapping_allocates_now(self):
+        space, physical = _space()
+        space.mmap(64, name="stack", eager=True)
+        assert physical.allocated_pages == 16
+
+    def test_touch_faults_one_page(self):
+        space, physical = _space()
+        mapping = space.mmap(1024)
+        space.touch(mapping, offset_kb=8)
+        assert space.resident_pages == 1
+
+    def test_touch_same_page_idempotent(self):
+        space, physical = _space()
+        mapping = space.mmap(64)
+        first = space.touch(mapping, 0)
+        second = space.touch(mapping, 1)  # same 4 KiB page
+        assert first is second
+        assert physical.allocated_pages == 1
+
+    def test_touch_beyond_mapping_rejected(self):
+        space, _ = _space()
+        mapping = space.mmap(4)
+        with pytest.raises(ValueError):
+            space.touch(mapping, offset_kb=64)
+
+    def test_touch_range(self):
+        space, _ = _space()
+        mapping = space.mmap(1024)
+        assert space.touch_range(mapping, 100) == 25
+        assert space.touch_range(mapping, 100) == 0  # already resident
+        assert space.resident_kb == 100
+
+    def test_touch_range_clamped_to_mapping(self):
+        space, _ = _space()
+        mapping = space.mmap(16)
+        assert space.touch_range(mapping, 1024) == 4
+
+    def test_oom_when_budget_exhausted(self):
+        space, _ = _space(memory_mb=1)
+        mapping = space.mmap(4096)
+        with pytest.raises(OutOfMemoryError):
+            space.touch_range(mapping, 4096)
+
+    def test_binary_size_irrelevant_when_lazy(self):
+        """The Figure 8 mechanism: huge binaries, tiny resident sets."""
+        space, physical = _space()
+        huge = space.mmap(300 * 1024, name="elasticsearch")  # 300 MB mapped
+        space.touch_range(huge, 512)  # 512 KiB actually used
+        assert physical.allocated_pages == 128
+
+    def test_mapping_lookup(self):
+        space, _ = _space()
+        space.mmap(64, name="libc")
+        assert space.find_mapping("libc") is not None
+        assert space.find_mapping("ghost") is None
+        assert space.mapped_kb >= 64
+
+
+class TestFootprintSearch:
+    def test_finds_exact_threshold(self):
+        threshold = 37
+        searched = measure_min_memory_mb(
+            lambda mb: mb >= threshold, upper_mb=128
+        )
+        assert searched == threshold
+
+    def test_threshold_at_bounds(self):
+        assert measure_min_memory_mb(lambda mb: mb >= 1, upper_mb=64) == 1
+        assert measure_min_memory_mb(lambda mb: mb >= 64, upper_mb=64) == 64
+
+    def test_unbootable_guest_raises(self):
+        with pytest.raises(OutOfMemoryError):
+            measure_min_memory_mb(lambda mb: False, upper_mb=32)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=512))
+    def test_search_matches_linear_scan(self, threshold):
+        found = measure_min_memory_mb(
+            lambda mb: mb >= threshold, upper_mb=512
+        )
+        assert found == threshold
+
+
+class TestFootprintModel:
+    def test_microvm_footprint_near_29mb(self, microvm_build):
+        from repro.mm.footprint import FootprintModel
+
+        model = FootprintModel(image=microvm_build.image)
+        footprint = measure_min_memory_mb(model.try_boot)
+        assert 26 <= footprint <= 32  # paper: ~29 MB
+
+    def test_lupine_footprint_near_21mb(self, lupine_build):
+        from repro.mm.footprint import FootprintModel
+
+        model = FootprintModel(image=lupine_build.image)
+        footprint = measure_min_memory_mb(model.try_boot)
+        assert 18 <= footprint <= 24  # paper: ~21 MB
+
+    def test_smaller_budget_than_requirement_fails(self, lupine_build):
+        from repro.mm.footprint import FootprintModel
+
+        model = FootprintModel(image=lupine_build.image)
+        assert not model.try_boot(4)
+        assert model.try_boot(256)

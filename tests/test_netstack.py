@@ -1,0 +1,46 @@
+"""Tests for the network path cost model."""
+
+import pytest
+
+from repro.netstack.path import NetworkPath, PACKET_HOOK_NS
+
+
+class TestConstruction:
+    def test_requires_inet(self):
+        with pytest.raises(ValueError, match="INET"):
+            NetworkPath.for_options(["NET", "UNIX"])
+
+    def test_lean_path_has_no_hooks(self):
+        path = NetworkPath.for_options(["INET"])
+        assert path.hook_ns == 0
+
+    def test_microvm_path_pays_for_every_hook(self, microvm):
+        path = NetworkPath.for_options(microvm.enabled)
+        assert path.hook_ns == pytest.approx(sum(PACKET_HOOK_NS.values()))
+
+
+class TestCosts:
+    def test_hooked_path_slower(self, microvm):
+        lean = NetworkPath.for_options(["INET"])
+        heavy = NetworkPath.for_options(microvm.enabled)
+        assert heavy.packet_ns() > lean.packet_ns()
+
+    def test_payload_copy_is_config_independent(self, microvm):
+        lean = NetworkPath.for_options(["INET"])
+        heavy = NetworkPath.for_options(microvm.enabled)
+        lean_delta = lean.packet_ns(4096) - lean.packet_ns(0)
+        heavy_delta = heavy.packet_ns(4096) - heavy.packet_ns(0)
+        assert lean_delta == pytest.approx(heavy_delta)
+
+    def test_connection_packets_at_least_steady_state(self, microvm):
+        path = NetworkPath.for_options(microvm.enabled)
+        assert path.connection_packet_ns() >= path.packet_ns() - 1e-9
+
+    def test_round_trip(self):
+        path = NetworkPath.for_options(["INET"])
+        assert path.round_trip_ns(2) == pytest.approx(4 * path.packet_ns())
+
+    def test_size_optimization_slows_stack(self):
+        fast = NetworkPath.for_options(["INET"])
+        small = NetworkPath.for_options(["INET"], size_optimized=True)
+        assert small.packet_ns() > fast.packet_ns()

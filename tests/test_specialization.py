@@ -1,0 +1,108 @@
+"""Tests for specialization (Section 3.1) and the Figure 4 classification."""
+
+import pytest
+
+from repro.apps.registry import TOP20_APPS, get_app
+from repro.core.classification import classify_microvm_options
+from repro.core.specialization import (
+    app_config,
+    app_option_requirements,
+    lupine_general_config,
+    lupine_general_names,
+    verify_general_covers_top20,
+)
+
+
+class TestAppConfigs:
+    def test_redis_config_resolves_cleanly(self, tree):
+        config = app_config(get_app("redis"), tree)
+        assert config.demoted == {}
+        assert len(config.enabled) == 283 + 10
+
+    def test_hello_world_config_is_base(self, tree, lupine_base):
+        config = app_config(get_app("hello-world"), tree)
+        assert config.enabled == lupine_base.enabled
+
+    @pytest.mark.parametrize("name", [a.name for a in TOP20_APPS])
+    def test_all_top20_configs_resolve(self, tree, name):
+        app = get_app(name)
+        config = app_config(app, tree)
+        assert config.demoted == {}
+        assert len(config.enabled) == 283 + app.option_count
+
+    def test_config_name(self, tree):
+        assert app_config(get_app("nginx"), tree).name == "lupine-nginx"
+
+    def test_app_requirements_match_table3(self):
+        assert len(app_option_requirements(get_app("nginx"))) == 13
+
+    def test_redis_kernel_lacks_nginx_only_syscalls(self, tree):
+        """Section 3.1.1: 'A Lupine kernel compiled for redis does not
+        contain the AIO or EVENTFD-related system calls.'"""
+        from repro.syscall.dispatch import SyscallEngine
+
+        config = app_config(get_app("redis"), tree)
+        engine = SyscallEngine.for_config(config.enabled)
+        assert engine.supports("epoll_wait")
+        assert engine.supports("futex")
+        assert not engine.supports("io_submit")
+        assert not engine.supports("eventfd2")
+
+
+class TestLupineGeneral:
+    def test_general_is_base_plus_19(self):
+        assert len(lupine_general_names()) == 283 + 19
+
+    def test_general_resolves_cleanly(self, tree):
+        config = lupine_general_config(tree)
+        assert config.demoted == {}
+        assert len(config.enabled) == 302
+
+    def test_general_covers_every_app(self):
+        assert verify_general_covers_top20()
+
+    def test_general_superset_of_every_app_config(self, tree):
+        general = lupine_general_config(tree)
+        for app in TOP20_APPS:
+            assert app_config(app, tree).enabled <= general.enabled
+
+
+class TestClassification:
+    def test_figure4_arithmetic(self):
+        classification = classify_microvm_options()
+        counts = classification.category_counts()
+        assert len(classification.microvm) == 833
+        assert len(classification.lupine_base) == 283
+        assert len(classification.removed) == 550
+        assert counts == {"app": 311, "mp": 89, "hw": 150}
+        assert sum(counts.values()) == 550
+
+    def test_categories_partition_removed_set(self):
+        classification = classify_microvm_options()
+        union = set()
+        for names in classification.removed_by_category.values():
+            assert not (union & names)
+            union |= names
+        assert union == set(classification.removed)
+
+    def test_category_of(self):
+        classification = classify_microvm_options()
+        assert classification.category_of("PRINTK") == "base"
+        assert classification.category_of("EPOLL") == "app"
+        assert classification.category_of("SMP") == "mp"
+        assert classification.category_of("ACPI") == "hw"
+        with pytest.raises(KeyError):
+            classification.category_of("KERNEL_MODE_LINUX")
+
+    def test_sysvipc_classified_multiprocess(self):
+        """Section 4.1: SYSVIPC was classified multi-process, yet postgres
+        needs it -- the canonical graceful-degradation example."""
+        classification = classify_microvm_options()
+        assert classification.category_of("SYSVIPC") == "mp"
+        assert "SYSVIPC" in get_app("postgres").required_options
+
+    def test_summary_rows(self):
+        rows = dict(classify_microvm_options().summary_rows())
+        assert rows["microVM total"] == 833
+        assert rows["lupine-base"] == 283
+        assert rows["Application-specific"] == 311

@@ -1,0 +1,105 @@
+"""Tests for the syscall table and Table 1 config gating."""
+
+import pytest
+
+from repro.syscall.table import (
+    OPTION_SYSCALLS,
+    SYSCALLS,
+    available_syscalls,
+    gated_syscalls,
+    option_for_syscall,
+    syscalls_for_option,
+)
+
+#: Paper Table 1 verbatim (option -> syscalls it enables).
+PAPER_TABLE1 = {
+    "ADVISE_SYSCALLS": {"madvise", "fadvise64"},
+    "AIO": {"io_setup", "io_destroy", "io_submit", "io_cancel",
+            "io_getevents"},
+    "BPF_SYSCALL": {"bpf"},
+    "EPOLL": {"epoll_ctl", "epoll_create", "epoll_wait", "epoll_pwait"},
+    "EVENTFD": {"eventfd", "eventfd2"},
+    "FANOTIFY": {"fanotify_init", "fanotify_mark"},
+    "FHANDLE": {"open_by_handle_at", "name_to_handle_at"},
+    "FILE_LOCKING": {"flock"},
+    "FUTEX": {"futex", "set_robust_list", "get_robust_list"},
+    "INOTIFY_USER": {"inotify_init", "inotify_add_watch",
+                     "inotify_rm_watch"},
+    "SIGNALFD": {"signalfd", "signalfd4"},
+    "TIMERFD": {"timerfd_create", "timerfd_gettime", "timerfd_settime"},
+}
+
+
+class TestTable1:
+    @pytest.mark.parametrize("option,expected", sorted(PAPER_TABLE1.items()))
+    def test_paper_rows_covered(self, option, expected):
+        assert expected <= set(OPTION_SYSCALLS[option])
+
+    def test_gated_syscalls_resolve_to_their_option(self):
+        for option, names in OPTION_SYSCALLS.items():
+            for name in names:
+                assert option_for_syscall(name) == option
+
+    def test_syscalls_for_option_inverse(self):
+        assert set(syscalls_for_option("EPOLL")) >= PAPER_TABLE1["EPOLL"]
+        assert syscalls_for_option("NOT_AN_OPTION") == ()
+
+    def test_sysvipc_extension_for_postgres(self):
+        # Section 4.1: postgres needed CONFIG_SYSVIPC.
+        assert "shmget" in OPTION_SYSCALLS["SYSVIPC"]
+        assert "semop" in OPTION_SYSCALLS["SYSVIPC"]
+
+
+class TestTableStructure:
+    def test_ungated_core_syscalls(self):
+        for name in ("read", "write", "open", "close", "mmap", "fork",
+                     "execve", "getppid", "clone"):
+            assert SYSCALLS[name].option is None
+
+    def test_every_table1_syscall_exists(self):
+        for names in PAPER_TABLE1.values():
+            for name in names:
+                assert name in SYSCALLS
+
+    def test_handler_costs_positive(self):
+        for syscall in SYSCALLS.values():
+            assert syscall.handler_ns > 0
+
+    def test_numbers_unique(self):
+        numbers = [s.number for s in SYSCALLS.values()]
+        assert len(numbers) == len(set(numbers))
+
+    def test_getppid_is_cheapest_class(self):
+        assert SYSCALLS["getppid"].handler_ns <= 5
+
+    def test_execve_is_expensive(self):
+        assert SYSCALLS["execve"].handler_ns > 1000
+
+    def test_data_path_flags(self):
+        assert SYSCALLS["read"].data_path
+        assert SYSCALLS["write"].data_path
+        assert not SYSCALLS["getppid"].data_path
+        assert not SYSCALLS["epoll_wait"].data_path
+
+    def test_gated_syscalls_set(self):
+        gated = gated_syscalls()
+        assert "epoll_wait" in gated
+        assert "read" not in gated
+
+
+class TestAvailability:
+    def test_no_options_means_core_only(self):
+        available = available_syscalls([])
+        assert "read" in available
+        assert "epoll_wait" not in available
+        assert "futex" not in available
+
+    def test_enabling_option_adds_its_family(self):
+        available = available_syscalls(["EPOLL"])
+        assert PAPER_TABLE1["EPOLL"] <= available
+        assert "futex" not in available
+
+    def test_microvm_has_everything_gated(self, microvm):
+        available = available_syscalls(microvm.enabled)
+        for names in PAPER_TABLE1.values():
+            assert names <= available

@@ -1,0 +1,113 @@
+"""Tests for the hierarchical timer wheel."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched.timers import TimerError, TimerWheel, WHEEL_SLOTS
+
+
+class TestBasics:
+    def test_fires_at_expiry(self):
+        wheel = TimerWheel()
+        timer = wheel.arm_after_ticks(5)
+        assert wheel.advance(4) == []
+        fired = wheel.advance(1)
+        assert fired == [timer]
+        assert timer.fired
+
+    def test_callback_invoked(self):
+        wheel = TimerWheel()
+        log = []
+        wheel.arm_after_ticks(2, callback=lambda: log.append("ding"))
+        wheel.advance(2)
+        assert log == ["ding"]
+
+    def test_cancel_prevents_firing(self):
+        wheel = TimerWheel()
+        timer = wheel.arm_after_ticks(3)
+        assert wheel.cancel(timer)
+        assert wheel.advance(5) == []
+        assert not timer.fired
+        assert not wheel.cancel(timer)  # second cancel is a no-op
+
+    def test_zero_tick_arm_rejected(self):
+        with pytest.raises(TimerError):
+            TimerWheel().arm_after_ticks(0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(TimerError):
+            TimerWheel().advance(-1)
+
+    def test_ns_arming_uses_hz_granularity(self):
+        fast = TimerWheel(hz=1000)
+        slow = TimerWheel(hz=100)
+        # 3 ms = 3 ticks at 1000 Hz, rounds up to 1 tick at 100 Hz.
+        fast_timer = fast.arm_after_ns(3e6)
+        slow_timer = slow.arm_after_ns(3e6)
+        assert fast_timer.expires_tick == 3
+        assert slow_timer.expires_tick == 1
+
+    def test_pending_count(self):
+        wheel = TimerWheel()
+        timers = [wheel.arm_after_ticks(i + 1) for i in range(5)]
+        assert wheel.pending_count == 5
+        wheel.cancel(timers[0])
+        assert wheel.pending_count == 4
+        wheel.advance(10)
+        assert wheel.pending_count == 0
+
+
+class TestHierarchy:
+    def test_far_future_timer_cascades_and_fires(self):
+        wheel = TimerWheel()
+        distance = WHEEL_SLOTS * 3 + 7  # lives in level 1 initially
+        timer = wheel.arm_after_ticks(distance)
+        fired = wheel.advance(distance)
+        assert timer in fired
+        assert wheel.cascade_count >= 1
+
+    def test_very_far_timer(self):
+        wheel = TimerWheel()
+        distance = WHEEL_SLOTS ** 2 + 13
+        timer = wheel.arm_after_ticks(distance)
+        assert wheel.advance(distance - 1) == []
+        assert wheel.advance(1) == [timer]
+
+    def test_many_timers_fire_exactly_once(self):
+        wheel = TimerWheel()
+        timers = [wheel.arm_after_ticks(t) for t in range(1, 200)]
+        fired = wheel.advance(250)
+        assert len(fired) == len(timers)
+        assert all(t.fired for t in timers)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=500),
+                    min_size=1, max_size=40))
+    def test_every_timer_fires_on_time(self, delays):
+        wheel = TimerWheel()
+        timers = [wheel.arm_after_ticks(delay) for delay in delays]
+        horizon = max(delays)
+        fire_ticks = {}
+        for tick in range(1, horizon + 1):
+            for timer in wheel.advance(1):
+                fire_ticks[timer.timer_id] = tick
+        for timer, delay in zip(timers, delays):
+            assert fire_ticks[timer.timer_id] == delay
+        assert wheel.pending_count == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 300), st.booleans()),
+                    min_size=1, max_size=30))
+    def test_cancelled_timers_never_fire(self, specs):
+        wheel = TimerWheel()
+        expected = 0
+        for delay, cancel in specs:
+            timer = wheel.arm_after_ticks(delay)
+            if cancel:
+                wheel.cancel(timer)
+            else:
+                expected += 1
+        fired = wheel.advance(400)
+        assert len(fired) == expected

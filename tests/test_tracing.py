@@ -1,0 +1,73 @@
+"""Tests for trace-driven manifest generation."""
+
+import pytest
+
+from repro.apps.registry import TOP20_APPS, get_app
+from repro.core.manifest import derive_options
+from repro.core.tracing import (
+    SyscallTracer,
+    manifest_from_app_trace,
+    trace_app_run,
+)
+from repro.syscall.dispatch import SyscallEngine, SyscallNotImplemented
+
+
+class TestTracer:
+    def test_records_in_order(self):
+        engine = SyscallEngine.for_config(["EPOLL"])
+        tracer = SyscallTracer(engine, "t")
+        tracer.syscall("epoll_create1")
+        tracer.syscall("epoll_wait")
+        tracer.syscall("epoll_wait")
+        assert tracer.trace.events == ["epoll_create1", "epoll_wait",
+                                       "epoll_wait"]
+        assert tracer.trace.counts["epoll_wait"] == 2
+        assert len(tracer.trace) == 3
+
+    def test_tracing_does_not_swallow_enosys(self):
+        engine = SyscallEngine.for_config([])
+        tracer = SyscallTracer(engine, "t")
+        with pytest.raises(SyscallNotImplemented):
+            tracer.syscall("futex")
+        assert tracer.trace.events == []  # failed call not recorded
+
+    def test_facilities_deduplicated(self):
+        engine = SyscallEngine.for_config([])
+        tracer = SyscallTracer(engine, "t")
+        tracer.touch_facility("socket:inet")
+        tracer.touch_facility("socket:inet")
+        assert tracer.trace.facilities == ["socket:inet"]
+
+
+class TestAppTraces:
+    def test_trace_includes_startup_prefix(self):
+        trace = trace_app_run(get_app("redis"))
+        assert trace.events[0] == "execve"
+        assert "arch_prctl" in trace.events
+
+    def test_redis_trace_touches_sockets_and_proc(self):
+        trace = trace_app_run(get_app("redis"))
+        assert "socket:inet" in trace.facilities
+        assert "mount:proc" in trace.facilities
+
+    def test_postgres_trace_forks(self):
+        trace = trace_app_run(get_app("postgres"))
+        assert "fork" in trace.events
+
+    def test_hello_world_trace_is_short_and_local(self):
+        trace = trace_app_run(get_app("hello-world"))
+        assert trace.facilities == []
+        assert "socket" not in trace.distinct_syscalls
+
+    @pytest.mark.parametrize("name", [a.name for a in TOP20_APPS])
+    def test_traced_manifest_reproduces_table3_config(self, name):
+        """The automated pipeline lands on the hand-derived options."""
+        app = get_app(name)
+        manifest = manifest_from_app_trace(app)
+        assert derive_options(manifest) == app.required_options
+
+    def test_traces_are_deterministic(self):
+        one = trace_app_run(get_app("nginx"))
+        two = trace_app_run(get_app("nginx"))
+        assert one.events == two.events
+        assert one.facilities == two.facilities

@@ -1,0 +1,125 @@
+"""Tests for the comparator unikernel models."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.unikernels import (
+    AppNotSupported,
+    HermiTux,
+    OSv,
+    Rumprun,
+    UnikernelCrash,
+)
+from repro.workloads.nginx import NGINX_CONN, NGINX_SESS
+from repro.workloads.redis import REDIS_GET, REDIS_SET
+
+
+class TestCuratedLists:
+    def test_hermitux_cannot_run_nginx(self):
+        """Section 4.4: 'HermiTux cannot run nginx'."""
+        with pytest.raises(AppNotSupported):
+            HermiTux().run_app(get_app("nginx"))
+
+    def test_osv_and_rump_run_the_three_eval_apps(self):
+        for unikernel in (OSv(), Rumprun()):
+            for name in ("hello-world", "redis", "nginx"):
+                assert unikernel.can_run(get_app(name)), (
+                    unikernel.name, name
+                )
+
+    def test_nothing_runs_postgres(self):
+        postgres = get_app("postgres")
+        for unikernel in (HermiTux(), OSv(), Rumprun()):
+            with pytest.raises((AppNotSupported, UnikernelCrash)):
+                unikernel.run_app(postgres)
+
+    def test_arbitrary_top20_apps_rejected(self):
+        for name in ("elasticsearch", "rabbitmq", "mongo"):
+            with pytest.raises(AppNotSupported):
+                OSv().run_app(get_app(name))
+
+
+class TestCrashSemantics:
+    def test_fork_crashes(self):
+        instance = OSv().run_app(get_app("redis"))
+        with pytest.raises(UnikernelCrash, match="fork"):
+            instance.fork()
+
+    def test_unimplemented_syscall_crashes(self):
+        instance = Rumprun().run_app(get_app("redis"))
+        with pytest.raises(UnikernelCrash):
+            instance.syscall("kexec_load")
+
+
+class TestQuirks:
+    def test_osv_hardcoded_getppid(self):
+        """Figure 9 discussion: OSv's getppid returns 0 with no indirection."""
+        assert OSv().lmbench_us("null") < 0.005
+
+    def test_osv_dev_zero_read_expensive(self):
+        assert OSv().lmbench_us("read") > 0.15
+
+    def test_osv_zfs_vs_rofs_boot(self):
+        assert OSv("zfs").boot_report().total_ms > (
+            3 * OSv("rofs").boot_report().total_ms
+        )
+
+    def test_osv_rejects_unknown_filesystem(self):
+        with pytest.raises(ValueError):
+            OSv("btrfs")
+
+    def test_osv_drops_nginx_connections(self):
+        assert OSv().request_ns(NGINX_CONN) == float("inf")
+
+    def test_rump_images_include_static_app(self):
+        rump = Rumprun()
+        hello = rump.image_size_mb(get_app("hello-world"))
+        redis = rump.image_size_mb(get_app("redis"))
+        assert redis > hello + 1.5  # redis binary linked in
+
+    def test_dynamic_unikernels_images_stay_small_across_apps(self):
+        osv = OSv()
+        hello = osv.image_size_mb(get_app("hello-world"))
+        redis = osv.image_size_mb(get_app("redis"))
+        assert redis - hello < 1.0
+
+    def test_osv_nginx_footprint_equals_hello(self):
+        """Footnote 10: OSv loads apps dynamically too."""
+        osv = OSv()
+        assert osv.min_memory_mb(get_app("nginx")) == (
+            osv.min_memory_mb(get_app("hello-world"))
+        )
+
+    def test_unikernel_redis_footprints_exceed_lupine(self):
+        for unikernel in (HermiTux(), OSv(), Rumprun()):
+            assert unikernel.min_memory_mb(get_app("redis")) > 21
+
+
+class TestMonitors:
+    def test_monitor_assignment_matches_paper_table2(self):
+        assert HermiTux().monitor.name == "uhyve"
+        assert Rumprun().monitor.name == "solo5-hvt"
+        assert OSv().monitor.name == "firecracker"
+
+
+class TestRequestModel:
+    def test_rump_handshake_discount_applies_to_conn_only(self):
+        rump = Rumprun()
+        conn_quirk = rump.workload_quirks["nginx-conn"]
+        assert conn_quirk.handshake_factor < 1.0
+        assert rump.request_ns(NGINX_SESS) > rump.request_ns(REDIS_GET)
+
+    def test_osv_set_penalty(self):
+        osv = OSv()
+        assert osv.request_ns(REDIS_SET) > 1.5 * osv.request_ns(REDIS_GET)
+
+    def test_requests_per_second_inverse(self):
+        hermitux = HermiTux()
+        rps = hermitux.requests_per_second(REDIS_GET)
+        assert rps == pytest.approx(1e9 / hermitux.request_ns(REDIS_GET))
+
+    def test_lmbench_unknown_test_raises(self):
+        from repro.unikernels.base import UnikernelError
+
+        with pytest.raises(UnikernelError):
+            HermiTux().lmbench_us("stat")

@@ -1,0 +1,57 @@
+"""Tests for the monitor models."""
+
+import pytest
+
+from repro.vmm.monitor import (
+    DeviceKind,
+    MonitorError,
+    firecracker,
+    qemu,
+    solo5_hvt,
+    uhyve,
+)
+
+
+class TestMonitorCatalogue:
+    def test_unikernel_monitors_are_leanest(self):
+        monitors = {m.name: m for m in (firecracker(), qemu(), solo5_hvt(),
+                                        uhyve())}
+        assert monitors["solo5-hvt"].setup_ms < monitors["firecracker"].setup_ms
+        assert monitors["uhyve"].setup_ms < monitors["firecracker"].setup_ms
+        assert monitors["firecracker"].setup_ms < monitors["qemu"].setup_ms
+
+    def test_qemu_is_the_complexity_outlier(self):
+        assert qemu().loc_estimate > 20 * firecracker().loc_estimate
+
+    def test_firecracker_has_no_pci_devices(self):
+        devices = firecracker().devices
+        assert DeviceKind.VIRTIO_PCI not in devices
+        assert DeviceKind.VIRTIO_MMIO_BLK in devices
+
+    def test_unikernel_monitors_single_vcpu(self):
+        assert solo5_hvt().max_vcpus == 1
+        assert uhyve().max_vcpus == 1
+
+
+class TestGuestCompatibility:
+    def test_lupine_runs_on_firecracker(self, nokml_build):
+        firecracker().check_linux_guest(nokml_build.image)  # must not raise
+
+    def test_microvm_runs_on_firecracker(self, microvm_build):
+        firecracker().check_linux_guest(microvm_build.image)
+
+    def test_guest_without_virtio_rejected(self, tree):
+        from repro.kbuild.builder import KernelBuilder
+        from repro.kconfig.database import base_option_names
+        from repro.kconfig.resolver import Resolver
+
+        names = [n for n in base_option_names()
+                 if n not in ("VIRTIO", "VIRTIO_BLK", "VIRTIO_MMIO")]
+        config = Resolver(tree).resolve_names(names, name="no-virtio")
+        image = KernelBuilder().build(config)
+        with pytest.raises(MonitorError, match="block device"):
+            firecracker().check_linux_guest(image)
+
+    def test_qemu_accepts_ide_guests(self, microvm_build):
+        # microVM config keeps ATA (classified hw, still in the 833).
+        qemu().check_linux_guest(microvm_build.image)

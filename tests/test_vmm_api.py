@@ -1,0 +1,133 @@
+"""Tests for the Firecracker-style configuration API."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.core.lupine import LupineBuilder
+from repro.core.variants import Variant
+from repro.vmm.api import (
+    ApiError,
+    BootSource,
+    Drive,
+    InstanceState,
+    MachineConfig,
+    MicrovmInstance,
+    NetworkInterface,
+    launch_lupine,
+)
+
+
+@pytest.fixture(scope="module")
+def nginx_unikernel():
+    return LupineBuilder(variant=Variant.LUPINE_NOKML).build_for_app(
+        get_app("nginx")
+    )
+
+
+def _configured(unikernel):
+    instance = MicrovmInstance()
+    instance.put_boot_source(BootSource(kernel_image=unikernel.build.image))
+    instance.put_drive(Drive("rootfs", True, False, 4.0))
+    return instance
+
+
+class TestMachineConfig:
+    def test_validation(self):
+        with pytest.raises(ApiError):
+            MachineConfig(vcpu_count=0)
+        with pytest.raises(ApiError):
+            MachineConfig(mem_size_mib=0)
+
+    def test_vcpu_cap_of_monitor(self):
+        from repro.vmm.monitor import solo5_hvt
+
+        instance = MicrovmInstance(monitor=solo5_hvt())
+        with pytest.raises(ApiError, match="at most"):
+            instance.put_machine_config(MachineConfig(vcpu_count=2))
+
+
+class TestSequencing:
+    def test_start_without_boot_source_rejected(self):
+        instance = MicrovmInstance()
+        instance.put_drive(Drive("rootfs", True, False, 4.0))
+        with pytest.raises(ApiError, match="boot source"):
+            instance.instance_start()
+
+    def test_start_without_root_drive_rejected(self, nginx_unikernel):
+        instance = MicrovmInstance()
+        instance.put_boot_source(
+            BootSource(kernel_image=nginx_unikernel.build.image)
+        )
+        with pytest.raises(ApiError, match="root device"):
+            instance.instance_start()
+
+    def test_double_root_drive_rejected(self, nginx_unikernel):
+        instance = _configured(nginx_unikernel)
+        with pytest.raises(ApiError, match="root device"):
+            instance.put_drive(Drive("other", True, False, 1.0))
+
+    def test_duplicate_ids_rejected(self, nginx_unikernel):
+        instance = _configured(nginx_unikernel)
+        with pytest.raises(ApiError, match="already exists"):
+            instance.put_drive(Drive("rootfs", False, True, 1.0))
+        instance.put_network_interface(NetworkInterface("eth0"))
+        with pytest.raises(ApiError, match="already exists"):
+            instance.put_network_interface(NetworkInterface("eth0"))
+
+    def test_no_reconfiguration_after_start(self, nginx_unikernel):
+        instance = _configured(nginx_unikernel)
+        instance.instance_start()
+        with pytest.raises(ApiError, match="immutable"):
+            instance.put_machine_config(MachineConfig())
+        with pytest.raises(ApiError, match="immutable"):
+            instance.put_drive(Drive("extra", False, True, 1.0))
+
+    def test_incompatible_kernel_rejected_at_boot_source(self, tree):
+        from repro.kbuild.builder import KernelBuilder
+        from repro.kconfig.database import base_option_names
+        from repro.kconfig.resolver import Resolver
+        from repro.vmm.monitor import MonitorError
+
+        names = [n for n in base_option_names() if n != "VIRTIO_BLK"]
+        config = Resolver(tree).resolve_names(names)
+        image = KernelBuilder().build(config)
+        instance = MicrovmInstance()
+        with pytest.raises(MonitorError):
+            instance.put_boot_source(BootSource(kernel_image=image))
+
+
+class TestLifecycle:
+    def test_start_pause_resume_stop(self, nginx_unikernel):
+        instance = _configured(nginx_unikernel)
+        report = instance.instance_start()
+        assert instance.state is InstanceState.RUNNING
+        assert report.total_ms > 0
+        instance.pause()
+        assert instance.state is InstanceState.PAUSED
+        instance.resume()
+        instance.stop()
+        assert instance.state is InstanceState.STOPPED
+
+    def test_invalid_transitions(self, nginx_unikernel):
+        instance = _configured(nginx_unikernel)
+        with pytest.raises(ApiError):
+            instance.pause()
+        with pytest.raises(ApiError):
+            instance.resume()
+        with pytest.raises(ApiError):
+            instance.stop()
+
+
+class TestLaunchHelper:
+    def test_launch_lupine_full_sequence(self, nginx_unikernel):
+        instance = launch_lupine(nginx_unikernel)
+        assert instance.state is InstanceState.RUNNING
+        assert instance.network_interfaces  # nginx needs networking
+        assert instance.boot_report.total_ms > 0
+
+    def test_launch_local_app_has_no_nic(self):
+        unikernel = LupineBuilder(variant=Variant.LUPINE).build_for_app(
+            get_app("hello-world")
+        )
+        instance = launch_lupine(unikernel)
+        assert instance.network_interfaces == []
