@@ -1,19 +1,12 @@
 """Extension bench: serverless cold-start latency across systems."""
 
-from repro.metrics.reporting import Table, render_table
-from repro.workloads.coldstart import run_cold_starts
+from repro.harness import get_experiment
 
 
 def test_ext_coldstart(benchmark, record_result):
-    results = benchmark(run_cold_starts)
-    table = Table(
-        title="Extension: serverless cold start (redis function)",
-        headers=["system", "boot ms", "app init ms", "first req ms",
-                 "total ms"],
-    )
-    for result in sorted(results.values(), key=lambda r: r.total_ms):
-        table.add_row(result.system, result.boot_ms, result.app_init_ms,
-                      result.first_request_ms, result.total_ms)
-    record_result("ext_coldstart", render_table(table))
+    experiment = get_experiment("ext-coldstart")
+    results = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("ext_coldstart", artifact.text, figure=artifact.figure)
     assert results["lupine-nokml"].total_ms < results["microvm"].total_ms
     assert results["lupine-nokml"].total_ms < 35.0

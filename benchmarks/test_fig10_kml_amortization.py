@@ -1,13 +1,13 @@
 """Figure 10 bench: KML improvement vs busy-wait iterations."""
 
-from repro.experiments import fig10_kml
-from repro.metrics.reporting import render_figure
+from repro.harness import get_experiment
 
 
 def test_fig10_kml_amortization(benchmark, record_result):
-    points = benchmark(fig10_kml.run)
-    figure = fig10_kml.figure()
-    record_result("fig10", render_figure(figure), figure=figure)
+    experiment = get_experiment("fig10")
+    points = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("fig10", artifact.text, figure=artifact.figure)
     as_dict = dict(points)
     assert 0.35 <= as_dict[0] <= 0.45
     assert as_dict[160] < 0.05

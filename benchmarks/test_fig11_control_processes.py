@@ -1,13 +1,13 @@
 """Figure 11 bench: syscall latency vs background control processes."""
 
-from repro.experiments import fig11_control
-from repro.metrics.reporting import render_figure
+from repro.harness import get_experiment
 
 
 def test_fig11_control_processes(benchmark, record_result):
-    series = benchmark(fig11_control.run)
-    figure = fig11_control.figure()
-    record_result("fig11", render_figure(figure), figure=figure)
+    experiment = get_experiment("fig11")
+    series = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("fig11", artifact.text, figure=artifact.figure)
     for name, points in series.items():
         values = [value for _, value in points]
         assert max(values) - min(values) <= 0.02 * max(values), name

@@ -1,11 +1,12 @@
 """Figure 12 bench: perf messaging with threads vs processes."""
 
 from repro.experiments import fig12_ctxsw
-from repro.metrics.reporting import render_figure
+from repro.harness import get_experiment
 
 
 def test_fig12_context_switch(benchmark, record_result):
-    benchmark(fig12_ctxsw.run)
-    figure = fig12_ctxsw.figure()
-    record_result("fig12", render_figure(figure), figure=figure)
+    experiment = get_experiment("fig12")
+    benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("fig12", artifact.text, figure=artifact.figure)
     assert fig12_ctxsw.max_process_penalty() <= 0.03

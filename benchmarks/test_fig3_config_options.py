@@ -1,12 +1,13 @@
 """Figure 3 bench: config options per directory (total/microvm/lupine-base)."""
 
-from repro.experiments import fig3_config_options
-from repro.metrics.reporting import render_table
+from repro.harness import get_experiment
 
 
 def test_fig3_config_options(benchmark, record_result):
-    results = benchmark(fig3_config_options.run)
-    record_result("fig3", render_table(fig3_config_options.table()))
+    experiment = get_experiment("fig3")
+    results = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("fig3", artifact.text, figure=artifact.figure)
     assert sum(results["total"].values()) == 15953
     assert sum(results["microvm"].values()) == 833
     assert sum(results["lupine-base"].values()) == 283

@@ -1,11 +1,12 @@
 """Figure 4 bench: breakdown of removed microVM options by category."""
 
-from repro.experiments import fig4_breakdown
-from repro.metrics.reporting import render_table
+from repro.harness import get_experiment
 
 
 def test_fig4_option_breakdown(benchmark, record_result):
-    results = benchmark(fig4_breakdown.run)
-    record_result("fig4", render_table(fig4_breakdown.table()))
+    experiment = get_experiment("fig4")
+    results = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("fig4", artifact.text, figure=artifact.figure)
     assert (results["app"], results["mp"], results["hw"]) == (311, 89, 150)
     assert results["lupine-base"] == 283

@@ -1,11 +1,11 @@
 """Figure 5 bench: growth of the option union across apps."""
 
-from repro.experiments import fig5_growth
-from repro.metrics.reporting import render_figure
+from repro.harness import get_experiment
 
 
 def test_fig5_option_growth(benchmark, record_result):
-    growth = benchmark(fig5_growth.run)
-    figure = fig5_growth.figure()
-    record_result("fig5", render_figure(figure), figure=figure)
+    experiment = get_experiment("fig5")
+    growth = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("fig5", artifact.text, figure=artifact.figure)
     assert growth[0] == 13 and growth[-1] == 19

@@ -1,12 +1,12 @@
 """Figure 6 bench: kernel image size for hello world across systems."""
 
-from repro.experiments import fig6_image_size
-from repro.metrics.reporting import render_figure
+from repro.harness import get_experiment
 
 
 def test_fig6_image_size(benchmark, record_result):
-    results = benchmark(fig6_image_size.run)
-    figure = fig6_image_size.figure()
-    record_result("fig6", render_figure(figure), figure=figure)
+    experiment = get_experiment("fig6")
+    results = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("fig6", artifact.text, figure=artifact.figure)
     assert 0.24 <= results["lupine"] / results["microvm"] <= 0.31
     assert results["lupine-general"] < results["osv"] < results["rump"]

@@ -1,12 +1,12 @@
 """Figure 7 bench: boot time for hello world across systems."""
 
-from repro.experiments import fig7_boot_time
-from repro.metrics.reporting import render_figure
+from repro.harness import get_experiment
 
 
 def test_fig7_boot_time(benchmark, record_result):
-    results = benchmark(fig7_boot_time.run)
-    figure = fig7_boot_time.figure()
-    record_result("fig7", render_figure(figure), figure=figure)
+    experiment = get_experiment("fig7")
+    results = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("fig7", artifact.text, figure=artifact.figure)
     assert results["lupine-nokml"] < 0.5 * results["microvm"]
     assert results["osv-zfs"] > 3 * results["osv-rofs"]

@@ -1,13 +1,13 @@
 """Figure 8 bench: memory footprint (hello/nginx/redis) across systems."""
 
-from repro.experiments import fig8_memory
-from repro.metrics.reporting import render_figure
+from repro.harness import get_experiment
 
 
 def test_fig8_memory_footprint(benchmark, record_result):
-    results = benchmark(fig8_memory.run)
-    figure = fig8_memory.figure()
-    record_result("fig8", render_figure(figure), figure=figure)
+    experiment = get_experiment("fig8")
+    results = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("fig8", artifact.text, figure=artifact.figure)
     assert results["lupine"]["hello-world"] < results["microvm"]["hello-world"]
     assert results["hermitux"]["nginx"] is None
     for system in ("hermitux", "osv", "rump"):

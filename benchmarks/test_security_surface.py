@@ -5,34 +5,14 @@ paper cites from related work (Section 7): ~89% CVE nullification
 (Alharthi et al.) and 50-85% attack-surface reduction (Kurmus et al.).
 """
 
-from repro.core.specialization import lupine_general_config
-from repro.kconfig.configs import lupine_base_config, microvm_config
-from repro.metrics.reporting import Table, render_table
-from repro.security import analyze_config
-
-
-def _run():
-    return {
-        "microvm": analyze_config(microvm_config()),
-        "lupine-base": analyze_config(lupine_base_config()),
-        "lupine-general": analyze_config(lupine_general_config()),
-    }
+from repro.harness import get_experiment
 
 
 def test_security_surface(benchmark, record_result):
-    reports = benchmark(_run)
-    table = Table(
-        title="Extension: attack surface & CVE nullification",
-        headers=["config", "surface MB", "syscalls", "CVEs nullified %"],
-    )
-    for name, report in reports.items():
-        table.add_row(
-            name,
-            report.surface_kb / 1024.0,
-            report.reachable_syscalls,
-            report.nullification_rate * 100.0,
-        )
-    record_result("security_surface", render_table(table))
+    experiment = get_experiment("ext-security")
+    reports = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("ext_security", artifact.text, figure=artifact.figure)
     base, microvm = reports["lupine-base"], reports["microvm"]
     assert 0.85 <= base.nullification_rate <= 0.92
     assert 0.50 <= base.surface_reduction_vs(microvm) <= 0.85

@@ -1,11 +1,12 @@
 """Table 1 bench: config options that enable/disable system calls."""
 
-from repro.experiments import table1_syscall_options
-from repro.metrics.reporting import render_table
+from repro.harness import get_experiment
 
 
 def test_table1_syscall_options(benchmark, record_result):
-    rows = benchmark(table1_syscall_options.run)
-    record_result("table1", render_table(table1_syscall_options.table()))
+    experiment = get_experiment("table1")
+    rows = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("table1", artifact.text, figure=artifact.figure)
     assert len(rows) == 12
     assert "madvise" in rows["ADVISE_SYSCALLS"]

@@ -1,11 +1,12 @@
 """Table 3 bench: per-app options atop lupine-base for the top-20 apps."""
 
-from repro.experiments import table3_top20
-from repro.metrics.reporting import render_table
+from repro.harness import get_experiment
 
 
 def test_table3_top20_apps(benchmark, record_result):
-    counts = benchmark(table3_top20.run)
-    record_result("table3", render_table(table3_top20.table()))
+    experiment = get_experiment("table3")
+    counts = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("table3", artifact.text, figure=artifact.figure)
     assert counts["nginx"] == 13 and counts["elasticsearch"] == 12
     assert len(counts) == 20

@@ -1,12 +1,13 @@
 """Table 5 bench: full lmbench suite, microVM vs lupine-general."""
 
-from repro.experiments import table5_lmbench
-from repro.metrics.reporting import render_table
+from repro.harness import get_experiment
 
 
 def test_table5_lmbench_full(benchmark, record_result):
-    reports = benchmark(table5_lmbench.run)
-    record_result("table5", render_table(table5_lmbench.table()))
+    experiment = get_experiment("table5")
+    reports = benchmark(experiment.run)
+    artifact = experiment.artifact()
+    record_result("table5", artifact.text, figure=artifact.figure)
     microvm = reports["microvm"]
     general = reports["lupine-general"]
     assert general.latencies_us["null call"] < microvm.latencies_us["null call"]

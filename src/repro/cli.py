@@ -8,6 +8,9 @@ Subcommands:
 - ``config APP``       -- print the derived kernel config fragment.
 - ``experiment ID``    -- run one paper experiment (fig3..table5) and print
   the table/figure; ``all`` runs everything.
+- ``run-all``          -- run every experiment through the parallel harness
+  (``--jobs N``), with result caching and a JSON run manifest under
+  ``benchmarks/output/``; ``--cold`` forces a full re-run.
 - ``apps``             -- list the top-20 application registry.
 """
 
@@ -169,23 +172,60 @@ def _cmd_footprint(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import ALL_EXPERIMENTS
-    from repro.metrics.reporting import render_figure, render_table
+    from repro.harness import all_experiments
 
-    names = (
-        list(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
-    )
+    registry = all_experiments()
+    names = list(registry) if args.id == "all" else [args.id]
     for name in names:
-        module = ALL_EXPERIMENTS.get(name)
-        if module is None:
+        experiment = registry.get(name)
+        if experiment is None:
             print(f"unknown experiment {name!r}; known: "
-                  f"{', '.join(ALL_EXPERIMENTS)} or 'all'", file=sys.stderr)
+                  f"{', '.join(registry)} or 'all'", file=sys.stderr)
             return 2
-        if hasattr(module, "table"):
-            print(render_table(module.table()))
-        else:
-            print(render_figure(module.figure()))
+        print(experiment.artifact().text)
         print()
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.harness import run_experiments
+    from repro.metrics.reporting import Table, render_table
+
+    names = args.only.split(",") if args.only else None
+    try:
+        run = run_experiments(
+            names=names,
+            jobs=args.jobs,
+            output_dir=args.output_dir,
+            force=args.cold,
+        )
+    except KeyError as error:
+        # str(KeyError) wraps the message in quotes; print the bare text.
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
+
+    telemetry = run.telemetry
+    summary = Table(
+        title=f"harness run: {len(telemetry.experiments)} experiments, "
+              f"jobs={telemetry.jobs}",
+        headers=["experiment", "result cache", "wall ms"],
+    )
+    for record in telemetry.experiments:
+        summary.add_row(
+            record.name, "hit" if record.cache_hit else "miss",
+            record.wall_ms,
+        )
+    print(render_table(summary))
+    print()
+    print(f"result cache : {telemetry.result_cache_hits} hits, "
+          f"{telemetry.result_cache_misses} misses "
+          f"({telemetry.result_cache_hit_rate:.0%} hit rate)")
+    print(f"kernel builds: {telemetry.kernel_builds_performed} performed, "
+          f"{telemetry.kernel_builds_reused} reused "
+          f"({telemetry.kernel_cache_entries} cached)")
+    print(f"total wall   : {telemetry.total_wall_ms:.0f} ms")
+    if run.manifest_path is not None:
+        print(f"manifest     : {run.manifest_path}")
     return 0
 
 
@@ -224,6 +264,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser("experiment", help="run a paper experiment")
     sub.add_argument("id", help="fig3..fig12, table1/3/4/5, sec5, or 'all'")
     sub.set_defaults(func=_cmd_experiment)
+
+    sub = subparsers.add_parser(
+        "run-all",
+        help="run all experiments through the parallel harness "
+             "(result cache + run manifest under benchmarks/output/)",
+    )
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="run up to N experiments concurrently")
+    sub.add_argument("--only", default=None, metavar="ID[,ID...]",
+                     help="comma-separated experiment ids (default: all)")
+    sub.add_argument("--cold", action="store_true",
+                     help="ignore cached results and re-run everything")
+    sub.add_argument("--output-dir", default=None, metavar="DIR",
+                     help="where outputs, the result cache and the run "
+                          "manifest land (default: benchmarks/output/)")
+    sub.set_defaults(func=_cmd_run_all)
 
     sub = subparsers.add_parser(
         "trace", help="trace an app and derive its manifest options"

@@ -1,0 +1,125 @@
+"""The process-wide, content-addressed kernel build cache.
+
+The paper's evaluation (and our 14+ experiment reproductions of it) builds
+the same handful of kernel variants over and over: every figure driver used
+to call :func:`~repro.core.variants.build_variant` from scratch, and the
+orchestrator kept its own private per-app memo.  MultiK-style fleet
+deployment argues the opposite design: one shared cache, keyed on *what the
+kernel is* (the resolved configuration) rather than *who asked for it* (the
+application name), so identical configurations are built exactly once per
+process no matter how many experiments, CLI invocations or orchestrator
+policies request them.
+
+``KernelBuildCache`` is that cache.  Keys are content fingerprints -- a
+stable hash of the requested option set plus the KML/patch state -- so two
+applications that resolve to the identical specialized configuration share
+one build, which is also what makes ``Fleet.distinct_kernels`` meaningful.
+The cache is thread-safe: the experiment harness runs independent
+experiments concurrently and they all hit this one instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Tuple
+
+
+def config_fingerprint(
+    names: Iterable[str],
+    kml: bool = False,
+    patches: Tuple[str, ...] = (),
+    salt: str = "",
+) -> str:
+    """Content fingerprint of a kernel configuration request.
+
+    Deterministic in the *set* of requested options (order and duplicates
+    are irrelevant, as they are to the resolver) plus everything else that
+    changes the produced image: the KML flag, applied source patches, and
+    an optional caller salt.
+    """
+    payload = "\n".join(sorted(set(names)))
+    payload += f"\nkml={kml}\npatches={','.join(patches)}\nsalt={salt}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BuildCacheStats:
+    """A point-in-time snapshot of cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def builds_performed(self) -> int:
+        return self.misses
+
+    @property
+    def builds_reused(self) -> int:
+        return self.hits
+
+
+class KernelBuildCache:
+    """Thread-safe content-addressed cache of built kernel artifacts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Any] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_build(self, key: str, factory: Callable[[], Any]) -> Any:
+        """Return the cached artifact for *key*, building it on first use.
+
+        The factory runs outside the lock (builds are slow; concurrent
+        misses on *different* keys must not serialize), so two threads
+        racing on the same new key may both build -- the first stored
+        result wins and exactly one build is counted.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                return self._entries[key]
+        artifact = factory()
+        with self._lock:
+            if key in self._entries:
+                # Lost the race: another thread stored first; count as a hit
+                # so performed-build accounting matches stored entries.
+                self._hits += 1
+                return self._entries[key]
+            self._entries[key] = artifact
+            self._misses += 1
+            return artifact
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> BuildCacheStats:
+        with self._lock:
+            return BuildCacheStats(
+                hits=self._hits, misses=self._misses,
+                entries=len(self._entries),
+            )
+
+    def reset(self) -> None:
+        """Drop all entries and counters (test isolation)."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+#: The one cache every build path in the process shares.
+BUILD_CACHE = KernelBuildCache()
+
+
+def build_cache() -> KernelBuildCache:
+    """The process-wide kernel build cache."""
+    return BUILD_CACHE

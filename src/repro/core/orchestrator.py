@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.apps.app import Application
 from repro.core.lupine import LupineBuilder, LupineUnikernel
-from repro.core.variants import Variant
+from repro.core.variants import Variant, variant_fingerprint
 
 
 class KernelPolicy(enum.Enum):
@@ -39,17 +39,25 @@ class Fleet:
 
     guests: Dict[str, LupineUnikernel] = field(default_factory=dict)
 
+    @staticmethod
+    def _kernel_identity(unikernel: LupineUnikernel) -> str:
+        # Content fingerprint when available (two apps resolving to the
+        # identical config share one kernel); config name as a fallback for
+        # builds assembled outside the caching path.
+        return unikernel.build.fingerprint or unikernel.build.config.name
+
     @property
     def distinct_kernels(self) -> int:
         return len({
-            unikernel.build.config.name for unikernel in self.guests.values()
+            self._kernel_identity(unikernel)
+            for unikernel in self.guests.values()
         })
 
     @property
     def total_kernel_mb(self) -> float:
         seen = {}
         for unikernel in self.guests.values():
-            seen[unikernel.build.config.name] = unikernel.kernel_image_mb
+            seen[self._kernel_identity(unikernel)] = unikernel.kernel_image_mb
         return sum(seen.values())
 
     def boot_all(self) -> Dict[str, float]:
@@ -62,12 +70,21 @@ class Fleet:
 
 @dataclass
 class KernelOrchestrator:
-    """Builds and caches kernels for applications under a policy."""
+    """Builds and caches kernels for applications under a policy.
+
+    Kernel images come from the process-wide content-addressed
+    :data:`~repro.core.buildcache.BUILD_CACHE` (via ``build_variant``), so
+    two apps that resolve to the identical specialized configuration share
+    one kernel; the orchestrator keeps only a per-app unikernel memo (the
+    rootfs really is per-app) and counts the *distinct kernel
+    configurations* it has materialized in ``build_count``.
+    """
 
     policy: KernelPolicy = KernelPolicy.GENERAL
     kml: bool = True
     hybrid_downloads_threshold: float = 1.0
-    _cache: Dict[str, LupineUnikernel] = field(default_factory=dict)
+    _unikernels: Dict[str, LupineUnikernel] = field(default_factory=dict)
+    _kernel_fingerprints: Set[str] = field(default_factory=set)
     build_count: int = 0
 
     def _variant_for(self, app: Application) -> Variant:
@@ -85,21 +102,21 @@ class KernelOrchestrator:
                 else Variant.LUPINE_GENERAL_NOKML)
 
     def _cache_key(self, app: Application) -> str:
-        variant = self._variant_for(app)
-        if variant.general:
-            # The general kernel is shared; only the rootfs differs, but the
-            # rootfs is cheap -- cache per app anyway for correctness.
-            return f"general:{app.name}"
-        return f"app:{app.name}"
+        """The kernel cache key for *app*: its resolved config fingerprint."""
+        return variant_fingerprint(self._variant_for(app), app)
 
     def unikernel_for(self, app: Application) -> LupineUnikernel:
         """Get (building if necessary) the unikernel for *app*."""
-        key = self._cache_key(app)
-        if key not in self._cache:
-            builder = LupineBuilder(variant=self._variant_for(app))
-            self._cache[key] = builder.build_for_app(app)
+        if app.name in self._unikernels:
+            return self._unikernels[app.name]
+        fingerprint = self._cache_key(app)
+        builder = LupineBuilder(variant=self._variant_for(app))
+        unikernel = builder.build_for_app(app)
+        self._unikernels[app.name] = unikernel
+        if fingerprint not in self._kernel_fingerprints:
+            self._kernel_fingerprints.add(fingerprint)
             self.build_count += 1
-        return self._cache[key]
+        return unikernel
 
     def deploy(self, apps: List[Application]) -> Fleet:
         """Build a fleet covering *apps*."""

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Tuple, Union
 
 from repro.apps.app import Application
+from repro.core.buildcache import BUILD_CACHE, config_fingerprint
 from repro.core.manifest import ApplicationManifest
 from repro.core.specialization import app_config_names, lupine_general_names
 from repro.kbuild.builder import KernelBuilder
@@ -76,6 +77,9 @@ class VariantBuild:
     variant: Variant
     config: ResolvedConfig
     image: KernelImage
+    #: Content fingerprint of the configuration this image was built from;
+    #: two builds with the same fingerprint are the same kernel.
+    fingerprint: str = ""
 
     @property
     def kml(self) -> bool:
@@ -126,6 +130,20 @@ def _variant_names(
     return names
 
 
+def variant_fingerprint(
+    variant: Variant,
+    target: Union[Application, ApplicationManifest, None] = None,
+) -> str:
+    """Content fingerprint of the kernel *variant* would build for *target*.
+
+    Computable without building: two (variant, target) pairs with equal
+    fingerprints resolve to the identical kernel image.
+    """
+    names = _variant_names(target, variant)
+    patches: Tuple[str, ...] = ("kml",) if variant.kml else ()
+    return config_fingerprint(names, kml=variant.kml, patches=patches)
+
+
 def build_variant(
     variant: Variant,
     target: Union[Application, ApplicationManifest, None] = None,
@@ -133,29 +151,43 @@ def build_variant(
     """Build one Lupine variant for *target* (None => hello-world-ish base).
 
     KML variants build against the KML-patched tree; others against the
-    pristine Linux 4.0 tree.
+    pristine Linux 4.0 tree.  Builds are served from the process-wide
+    :data:`~repro.core.buildcache.BUILD_CACHE`, content-addressed on the
+    configuration fingerprint: every caller requesting the same resolved
+    option set shares one build.
     """
-    if variant.kml:
-        tree = KmlPatch().apply("4.0")
-        patches: Tuple[str, ...] = ("kml",)
-    else:
-        tree = build_linux_tree()
-        patches = ()
-    names = _variant_names(target, variant)
-    target_name = (
-        "general" if (variant.general or target is None) else (
-            target.name
-            if isinstance(target, Application)
-            else target.app_name
+    fingerprint = variant_fingerprint(variant, target)
+
+    def _build() -> VariantBuild:
+        if variant.kml:
+            tree = KmlPatch().apply("4.0")
+            patches: Tuple[str, ...] = ("kml",)
+        else:
+            tree = build_linux_tree()
+            patches = ()
+        names = _variant_names(target, variant)
+        target_name = (
+            "general" if (variant.general or target is None) else (
+                target.name
+                if isinstance(target, Application)
+                else target.app_name
+            )
         )
-    )
-    config = Resolver(tree).resolve_names(
-        names, name=f"{variant.value}[{target_name}]"
-    )
-    image = KernelBuilder().build(
-        config, name=config.name, kml=variant.kml, patches=patches
-    )
-    return VariantBuild(variant=variant, config=config, image=image)
+        config = Resolver(tree).resolve_names(
+            names, name=f"{variant.value}[{target_name}]"
+        )
+        image = KernelBuilder().build(
+            config, name=config.name, kml=variant.kml, patches=patches
+        )
+        return VariantBuild(
+            variant=variant, config=config, image=image,
+            fingerprint=fingerprint,
+        )
+
+    # The cache key carries the variant so cosmetically different variants
+    # that happen to resolve identically keep their own reporting identity;
+    # the stored ``fingerprint`` is the pure content hash.
+    return BUILD_CACHE.get_or_build(f"{variant.value}:{fingerprint}", _build)
 
 
 @dataclass(frozen=True)
@@ -164,6 +196,7 @@ class MicrovmBuild:
 
     config: ResolvedConfig
     image: KernelImage
+    fingerprint: str = ""
 
     entry_mechanism: EntryMechanism = EntryMechanism.SYSCALL
     size_optimized: bool = False
@@ -178,7 +211,14 @@ class MicrovmBuild:
 
 
 def build_microvm() -> MicrovmBuild:
-    """Build the microVM baseline kernel."""
-    config = microvm_config()
-    image = KernelBuilder().build(config, name="microvm")
-    return MicrovmBuild(config=config, image=image)
+    """Build the microVM baseline kernel (shared via the build cache)."""
+
+    def _build() -> MicrovmBuild:
+        config = microvm_config()
+        image = KernelBuilder().build(config, name="microvm")
+        fingerprint = config_fingerprint(config.enabled)
+        return MicrovmBuild(
+            config=config, image=image, fingerprint=fingerprint
+        )
+
+    return BUILD_CACHE.get_or_build("microvm:baseline", _build)

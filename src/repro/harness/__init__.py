@@ -1,0 +1,46 @@
+"""The parallel experiment harness.
+
+One registry + runner for every paper reproduction: experiments are
+discovered behind a uniform :class:`Experiment` protocol, executed
+concurrently with a shared kernel build cache, cached on disk by inputs
+fingerprint, and reported through a JSON run manifest.
+
+    from repro.harness import run_experiments
+
+    run = run_experiments(jobs=4)          # all experiments
+    run.results["fig7"]                     # structured results
+    run.telemetry.result_cache_hit_rate     # run telemetry
+
+CLI equivalent: ``python -m repro.cli run-all --jobs 4``.
+"""
+
+from repro.harness.registry import (
+    Artifact,
+    Experiment,
+    all_experiments,
+    get_experiment,
+    module_fingerprint,
+)
+from repro.harness.resultcache import CachedResult, ResultCache
+from repro.harness.runner import (
+    MANIFEST_NAME,
+    HarnessRun,
+    default_cache_dir,
+    default_output_dir,
+    run_experiments,
+)
+
+__all__ = [
+    "Artifact",
+    "CachedResult",
+    "Experiment",
+    "HarnessRun",
+    "MANIFEST_NAME",
+    "ResultCache",
+    "all_experiments",
+    "default_cache_dir",
+    "default_output_dir",
+    "get_experiment",
+    "module_fingerprint",
+    "run_experiments",
+]

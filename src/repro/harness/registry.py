@@ -1,0 +1,164 @@
+"""The experiment registry: a uniform protocol over the experiment modules.
+
+Each module under :mod:`repro.experiments` exposes ``run()`` plus a
+``table()``/``figure()`` renderer.  The registry wraps every one of them in
+an :class:`Experiment` -- name, inputs fingerprint, ``run()``, rendered
+artifact -- so the runner, the CLI, the benchmark drivers and the
+EXPERIMENTS.md generator all go through one interface instead of importing
+modules ad hoc.
+
+The inputs fingerprint is a content hash of the experiment's source *and
+the source of every repro module it (transitively) imports*, salted with
+the package version.  It is what keys the on-disk result cache: edit any
+model an experiment depends on and only the affected experiments re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import re
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Any, Callable, Dict, List, Optional
+
+from repro._version import __version__
+from repro.metrics.reporting import Figure, render_figure, render_table
+
+#: ``import repro.x.y`` / ``from repro.x.y import z`` in experiment sources.
+_IMPORT_RE = re.compile(
+    r"^\s*(?:from\s+(repro[.\w]*)\s+import|import\s+(repro[.\w]+))",
+    re.MULTILINE,
+)
+
+_source_cache: Dict[str, str] = {}
+_closure_cache: Dict[str, List[str]] = {}
+
+
+def _module_source(module_name: str) -> str:
+    """Source text of *module_name* ('' when it has no readable file)."""
+    if module_name not in _source_cache:
+        try:
+            module = importlib.import_module(module_name)
+            with open(module.__file__, "r", encoding="utf-8") as handle:
+                _source_cache[module_name] = handle.read()
+        except (ImportError, OSError, AttributeError, TypeError):
+            _source_cache[module_name] = ""
+    return _source_cache[module_name]
+
+
+def _direct_repro_imports(source: str) -> List[str]:
+    found = []
+    for match in _IMPORT_RE.finditer(source):
+        name = match.group(1) or match.group(2)
+        if name:
+            found.append(name)
+    return found
+
+
+def _dependency_closure(module_name: str) -> List[str]:
+    """*module_name* plus every repro module reachable from its imports."""
+    if module_name in _closure_cache:
+        return _closure_cache[module_name]
+    seen = set()
+    stack = [module_name]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(_direct_repro_imports(_module_source(current)))
+    closure = sorted(seen)
+    _closure_cache[module_name] = closure
+    return closure
+
+
+def module_fingerprint(module_name: str) -> str:
+    """Inputs fingerprint of an experiment module (see module docstring)."""
+    digest = hashlib.sha256()
+    digest.update(f"version={__version__}\n".encode("utf-8"))
+    for dependency in _dependency_closure(module_name):
+        digest.update(dependency.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(_module_source(dependency).encode("utf-8"))
+        digest.update(b"\x01")
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """An experiment's rendered output: plain text plus an optional figure."""
+
+    text: str
+    figure: Optional[Figure] = None
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One experiment behind the uniform harness protocol."""
+
+    name: str
+    run_fn: Callable[[], Any]
+    artifact_fn: Callable[[], Artifact]
+    fingerprint_fn: Callable[[], str]
+    module: Optional[ModuleType] = field(default=None, compare=False)
+
+    def run(self) -> Any:
+        """Execute the experiment, returning its structured result."""
+        return self.run_fn()
+
+    def artifact(self) -> Artifact:
+        """Render the experiment's paper table/figure."""
+        return self.artifact_fn()
+
+    def fingerprint(self) -> str:
+        """The inputs fingerprint keying this experiment's cached result."""
+        return self.fingerprint_fn()
+
+    @property
+    def output_stem(self) -> str:
+        """Filename stem under ``benchmarks/output/`` (matches the
+        historical benchmark-driver naming)."""
+        return self.name.replace("-", "_")
+
+    @classmethod
+    def from_module(cls, name: str, module: ModuleType) -> "Experiment":
+        if hasattr(module, "table"):
+            def _artifact() -> Artifact:
+                return Artifact(text=render_table(module.table()))
+        elif hasattr(module, "figure"):
+            def _artifact() -> Artifact:
+                figure = module.figure()
+                return Artifact(text=render_figure(figure), figure=figure)
+        else:
+            raise TypeError(
+                f"experiment module {module.__name__} has neither table() "
+                "nor figure()"
+            )
+        return cls(
+            name=name,
+            run_fn=module.run,
+            artifact_fn=_artifact,
+            fingerprint_fn=lambda: module_fingerprint(module.__name__),
+            module=module,
+        )
+
+
+def all_experiments() -> Dict[str, Experiment]:
+    """Every registered experiment, in paper order (fig3 .. ext-security)."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    return {
+        name: Experiment.from_module(name, module)
+        for name, module in ALL_EXPERIMENTS.items()
+    }
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up one experiment by its registry id (e.g. ``fig7``)."""
+    registry = all_experiments()
+    if name not in registry:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(registry)}"
+        )
+    return registry[name]

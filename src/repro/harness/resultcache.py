@@ -1,0 +1,87 @@
+"""The on-disk experiment result cache.
+
+One JSON file per experiment, keyed on the experiment's inputs
+fingerprint: a warm run with unchanged inputs loads the stored result and
+rendered artifact instead of re-executing, and a fingerprint mismatch
+(changed source anywhere in the experiment's dependency closure) is a
+miss.  Files are canonical JSON (sorted keys, fixed indentation) so warm
+runs are byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One stored experiment outcome."""
+
+    name: str
+    fingerprint: str
+    result: Any  # codec-encoded (JSON-safe) structure
+    artifact_text: str
+    artifact_dat: Optional[str] = None
+
+
+class ResultCache:
+    """Directory of per-experiment cached results."""
+
+    def __init__(self, root: pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+
+    def _path(self, name: str) -> pathlib.Path:
+        return self.root / f"{name.replace('-', '_')}.json"
+
+    def load(self, name: str, fingerprint: str) -> Optional[CachedResult]:
+        """The cached result for *name*, or None on miss/stale/corrupt."""
+        path = self._path(name)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("fingerprint") != fingerprint
+        ):
+            return None
+        try:
+            return CachedResult(
+                name=payload["name"],
+                fingerprint=payload["fingerprint"],
+                result=payload["result"],
+                artifact_text=payload["artifact_text"],
+                artifact_dat=payload.get("artifact_dat"),
+            )
+        except KeyError:
+            return None
+
+    def store(self, entry: CachedResult) -> pathlib.Path:
+        """Persist *entry*, returning its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": entry.name,
+            "fingerprint": entry.fingerprint,
+            "result": entry.result,
+            "artifact_text": entry.artifact_text,
+        }
+        if entry.artifact_dat is not None:
+            payload["artifact_dat"] = entry.artifact_dat
+        path = self._path(entry.name)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def clear(self) -> int:
+        """Remove every cached result; returns how many were dropped."""
+        dropped = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                dropped += 1
+        return dropped

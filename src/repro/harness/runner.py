@@ -1,0 +1,213 @@
+"""The experiment runner: concurrent execution, caching, telemetry.
+
+``run_experiments`` executes a set of registered experiments:
+
+- independent experiments run concurrently on a thread pool (``jobs``);
+  results are merged in registry order, so output is deterministic and
+  identical for ``--jobs 1`` and ``--jobs 4``;
+- kernel builds inside experiments all hit the process-wide
+  :data:`~repro.core.buildcache.BUILD_CACHE`, so the fleet of variants the
+  paper's evaluation needs is built once per process, not once per figure;
+- finished results land in an on-disk :class:`ResultCache` keyed on each
+  experiment's inputs fingerprint -- a warm re-run with unchanged inputs
+  executes nothing and reproduces byte-identical artifacts;
+- every run emits a JSON run manifest (``run_manifest.json``) with
+  per-experiment wall time, result-cache hits/misses and kernel builds
+  performed vs. reused.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.buildcache import BUILD_CACHE
+from repro.harness.codec import decode, encode
+from repro.harness.registry import Experiment, all_experiments
+from repro.harness.resultcache import CachedResult, ResultCache
+from repro.metrics.telemetry import ExperimentTelemetry, RunTelemetry
+
+#: Manifest filename inside the output directory.
+MANIFEST_NAME = "run_manifest.json"
+
+
+def default_output_dir() -> pathlib.Path:
+    """``<repo>/benchmarks/output``, anchored on the installed package."""
+    import repro
+
+    return (
+        pathlib.Path(repro.__file__).resolve().parents[2]
+        / "benchmarks" / "output"
+    )
+
+
+def default_cache_dir(output_dir: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """The result cache lives next to the rendered outputs."""
+    base = output_dir if output_dir is not None else default_output_dir()
+    return pathlib.Path(base) / "result-cache"
+
+
+@dataclass
+class HarnessRun:
+    """Everything one ``run_experiments`` call produced."""
+
+    results: Dict[str, Any] = field(default_factory=dict)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+    telemetry: RunTelemetry = field(default_factory=lambda: RunTelemetry(jobs=1))
+    output_paths: Dict[str, pathlib.Path] = field(default_factory=dict)
+    manifest_path: Optional[pathlib.Path] = None
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    telemetry: ExperimentTelemetry
+    result: Any
+    artifact_text: str
+    artifact_dat: Optional[str]
+
+
+def _execute_one(
+    experiment: Experiment, cache: Optional[ResultCache], force: bool
+) -> _Outcome:
+    fingerprint = experiment.fingerprint()
+    started = time.perf_counter()
+    if cache is not None and not force:
+        entry = cache.load(experiment.name, fingerprint)
+        if entry is not None:
+            return _Outcome(
+                telemetry=ExperimentTelemetry(
+                    name=experiment.name,
+                    fingerprint=fingerprint,
+                    cache_hit=True,
+                    wall_ms=(time.perf_counter() - started) * 1000.0,
+                ),
+                result=decode(entry.result),
+                artifact_text=entry.artifact_text,
+                artifact_dat=entry.artifact_dat,
+            )
+    result = experiment.run()
+    artifact = experiment.artifact()
+    dat_text: Optional[str] = None
+    if artifact.figure is not None:
+        from repro.metrics.dataexport import figure_to_dat
+
+        dat_text = figure_to_dat(artifact.figure)
+    encoded = encode(result)
+    if cache is not None:
+        cache.store(
+            CachedResult(
+                name=experiment.name,
+                fingerprint=fingerprint,
+                result=encoded,
+                artifact_text=artifact.text,
+                artifact_dat=dat_text,
+            )
+        )
+    return _Outcome(
+        telemetry=ExperimentTelemetry(
+            name=experiment.name,
+            fingerprint=fingerprint,
+            cache_hit=False,
+            wall_ms=(time.perf_counter() - started) * 1000.0,
+        ),
+        # Normalize through the codec so cold and warm runs hand consumers
+        # byte-for-byte identical structures.
+        result=decode(encoded),
+        artifact_text=artifact.text,
+        artifact_dat=dat_text,
+    )
+
+
+def run_experiments(
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    experiments: Optional[Sequence[Experiment]] = None,
+    output_dir: Optional[pathlib.Path] = None,
+    cache_dir: Optional[pathlib.Path] = None,
+    force: bool = False,
+    write_outputs: bool = True,
+    use_result_cache: bool = True,
+) -> HarnessRun:
+    """Run experiments through the harness (see module docstring).
+
+    ``names`` selects registered experiments (None => all, registry
+    order); ``experiments`` bypasses the registry entirely (tests,
+    synthetic experiments).  ``force`` ignores cached results but still
+    refreshes the cache; ``use_result_cache=False`` disables the result
+    cache in both directions.
+    """
+    if experiments is None:
+        registry = all_experiments()
+        if names is None:
+            selected = list(registry.values())
+        else:
+            unknown = [name for name in names if name not in registry]
+            if unknown:
+                raise KeyError(
+                    f"unknown experiments {unknown!r}; known: "
+                    f"{', '.join(registry)}"
+                )
+            selected = [registry[name] for name in names]
+    else:
+        selected = list(experiments)
+
+    if output_dir is None:
+        output_dir = default_output_dir()
+    output_dir = pathlib.Path(output_dir)
+    cache: Optional[ResultCache] = None
+    if use_result_cache:
+        if cache_dir is None:
+            cache_dir = default_cache_dir(output_dir)
+        cache = ResultCache(pathlib.Path(cache_dir))
+
+    jobs = max(1, int(jobs))
+    build_stats_before = BUILD_CACHE.stats()
+    run_started = time.perf_counter()
+
+    if jobs == 1:
+        outcomes = [_execute_one(e, cache, force) for e in selected]
+    else:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_execute_one, e, cache, force) for e in selected
+            ]
+            # Futures are collected in submission (registry) order: the
+            # merge is deterministic no matter which finishes first.
+            outcomes = [future.result() for future in futures]
+
+    build_stats_after = BUILD_CACHE.stats()
+    telemetry = RunTelemetry(
+        jobs=jobs,
+        total_wall_ms=(time.perf_counter() - run_started) * 1000.0,
+        experiments=[outcome.telemetry for outcome in outcomes],
+        kernel_builds_performed=(
+            build_stats_after.misses - build_stats_before.misses
+        ),
+        kernel_builds_reused=(
+            build_stats_after.hits - build_stats_before.hits
+        ),
+        kernel_cache_entries=build_stats_after.entries,
+    )
+
+    run = HarnessRun(telemetry=telemetry)
+    for experiment, outcome in zip(selected, outcomes):
+        run.results[experiment.name] = outcome.result
+        run.artifacts[experiment.name] = outcome.artifact_text
+        if write_outputs:
+            output_dir.mkdir(parents=True, exist_ok=True)
+            path = output_dir / f"{experiment.output_stem}.txt"
+            path.write_text(outcome.artifact_text + "\n", encoding="utf-8")
+            run.output_paths[experiment.name] = path
+            if outcome.artifact_dat is not None:
+                (output_dir / f"{experiment.output_stem}.dat").write_text(
+                    outcome.artifact_dat, encoding="utf-8"
+                )
+    if write_outputs:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        manifest_path = output_dir / MANIFEST_NAME
+        manifest_path.write_text(telemetry.to_json(), encoding="utf-8")
+        run.manifest_path = manifest_path
+    return run

@@ -1,0 +1,74 @@
+"""Structured run telemetry for the experiment harness.
+
+Every harness run produces a :class:`RunTelemetry`: per-experiment wall
+time and result-cache outcome, plus run-level kernel-build accounting
+(builds performed vs. reused out of the shared
+:class:`~repro.core.buildcache.KernelBuildCache`).  Serialized as a JSON
+run manifest under ``benchmarks/output/`` so runs are comparable across
+machines and commits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ExperimentTelemetry:
+    """What one experiment cost in this run."""
+
+    name: str
+    fingerprint: str
+    cache_hit: bool
+    wall_ms: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class RunTelemetry:
+    """Aggregate telemetry for one harness run."""
+
+    jobs: int
+    total_wall_ms: float = 0.0
+    experiments: List[ExperimentTelemetry] = field(default_factory=list)
+    kernel_builds_performed: int = 0
+    kernel_builds_reused: int = 0
+    kernel_cache_entries: int = 0
+
+    @property
+    def result_cache_hits(self) -> int:
+        return sum(1 for e in self.experiments if e.cache_hit)
+
+    @property
+    def result_cache_misses(self) -> int:
+        return sum(1 for e in self.experiments if not e.cache_hit)
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        if not self.experiments:
+            return 0.0
+        return self.result_cache_hits / len(self.experiments)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "total_wall_ms": self.total_wall_ms,
+            "experiments": [e.to_dict() for e in self.experiments],
+            "result_cache": {
+                "hits": self.result_cache_hits,
+                "misses": self.result_cache_misses,
+                "hit_rate": self.result_cache_hit_rate,
+            },
+            "kernel_builds": {
+                "performed": self.kernel_builds_performed,
+                "reused": self.kernel_builds_reused,
+                "cache_entries": self.kernel_cache_entries,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"

@@ -91,3 +91,24 @@ class TestExtendedCli:
         output = capsys.readouterr().out
         assert "FAIL" not in output
         assert output.count("[ok ]") == 9
+
+
+class TestRunAll:
+    def test_run_all_subset(self, capsys, tmp_path):
+        assert main(
+            ["run-all", "--only", "fig5,table3", "--jobs", "2",
+             "--output-dir", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "fig5" in output and "table3" in output
+        assert "result cache" in output
+        assert "kernel builds" in output
+        assert (tmp_path / "run_manifest.json").exists()
+        assert (tmp_path / "fig5.txt").exists()
+        assert (tmp_path / "fig5.dat").exists()
+
+    def test_run_all_unknown_experiment(self, capsys, tmp_path):
+        assert main(
+            ["run-all", "--only", "fig99", "--output-dir", str(tmp_path)]
+        ) == 2
+        assert "unknown experiment" in capsys.readouterr().err

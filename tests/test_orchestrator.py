@@ -38,6 +38,30 @@ class TestPolicies:
         orchestrator.unikernel_for(get_app("redis"))
         assert orchestrator.build_count == 1
 
+    def test_identical_configs_share_a_kernel(self):
+        import dataclasses
+
+        redis = get_app("redis")
+        clone = dataclasses.replace(redis, name="redis-clone")
+        orchestrator = KernelOrchestrator(policy=KernelPolicy.PER_APP)
+        fleet = orchestrator.deploy([redis, clone])
+        # Same required options and syscalls -> same config fingerprint,
+        # so PER_APP still materializes only one kernel.
+        assert orchestrator.build_count == 1
+        assert fleet.distinct_kernels == 1
+        assert (
+            fleet.guests["redis"].build.fingerprint
+            == fleet.guests["redis-clone"].build.fingerprint
+        )
+
+    def test_cache_key_is_config_fingerprint(self):
+        from repro.core.variants import variant_fingerprint
+
+        orchestrator = KernelOrchestrator(policy=KernelPolicy.PER_APP)
+        redis = get_app("redis")
+        expected = variant_fingerprint(orchestrator._variant_for(redis), redis)
+        assert orchestrator._cache_key(redis) == expected
+
     def test_nokml_flag_respected(self):
         orchestrator = KernelOrchestrator(
             policy=KernelPolicy.PER_APP, kml=False

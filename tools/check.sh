@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repo health check: tier-1 tests plus the EXPERIMENTS.md generator.
+#
+# The generator is deliberately run from a temporary working directory to
+# guard the sys.path bootstrap in tools/generate_experiments_md.py -- it
+# must locate the repro package regardless of the caller's cwd.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+echo "==> tier-1 test suite"
+(cd "$REPO_ROOT" && PYTHONPATH=src python -m pytest -q)
+
+echo "==> EXPERIMENTS.md generator (from a temp cwd, no PYTHONPATH)"
+TMP_DIR=$(mktemp -d)
+trap 'rm -rf "$TMP_DIR"' EXIT
+(cd "$TMP_DIR" && python "$REPO_ROOT/tools/generate_experiments_md.py" --jobs 2)
+test -s "$TMP_DIR/EXPERIMENTS.md"
+grep -q "Running the experiments" "$TMP_DIR/EXPERIMENTS.md"
+
+echo "==> all checks passed"
