@@ -9,8 +9,14 @@ Subcommands:
 - ``experiment ID``    -- run one paper experiment (fig3..table5) and print
   the table/figure; ``all`` runs everything.
 - ``run-all``          -- run every experiment through the parallel harness
-  (``--jobs N``), with result caching and a JSON run manifest under
-  ``benchmarks/output/``; ``--cold`` forces a full re-run.
+  (``--jobs N``), with result caching and a JSON run manifest plus
+  ``trace.json``/``metrics.json`` under ``benchmarks/output/``; ``--cold``
+  forces a full re-run.
+- ``trace --run``      -- render the observability report of the last
+  ``run-all``: top-N self-time spans and the per-experiment phase
+  breakdown (see docs/OBSERVABILITY.md).
+- ``regress A B``      -- the perf gate: diff two runs' metrics/manifests
+  and exit nonzero past a threshold.
 - ``apps``             -- list the top-20 application registry.
 """
 
@@ -85,6 +91,8 @@ def _cmd_config(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.run or args.app is None:
+        return _cmd_trace_run(args)
     from repro.apps.registry import get_app
     from repro.core.manifest import derive_options
     from repro.core.tracing import manifest_from_app_trace, trace_app_run
@@ -102,6 +110,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     options = derive_options(manifest_from_app_trace(app))
     print("derived options: " + (", ".join(sorted(options)) or "(none)"))
     return 0
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    """Render the observability report of a ``run-all`` invocation."""
+    import pathlib
+
+    from repro.harness.runner import default_output_dir
+    from repro.observe.export import (
+        METRICS_NAME,
+        TRACE_NAME,
+        render_trace_report,
+    )
+
+    output_dir = (
+        pathlib.Path(args.output_dir)
+        if args.output_dir is not None else default_output_dir()
+    )
+    trace_path = output_dir / TRACE_NAME
+    if not trace_path.is_file():
+        print(
+            f"no {TRACE_NAME} under {output_dir}; run "
+            "'repro-lupine run-all' first",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_trace_report(
+        trace_path,
+        metrics_path=output_dir / METRICS_NAME,
+        top_n=args.top,
+    ))
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from repro.observe import regress
+
+    argv = [args.baseline, args.current,
+            "--threshold", str(args.threshold), "--min-ms", str(args.min_ms)]
+    if args.no_timings:
+        argv.append("--no-timings")
+    return regress.main(argv)
 
 
 def _resolve_config_argument(name: str):
@@ -226,6 +275,11 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     print(f"total wall   : {telemetry.total_wall_ms:.0f} ms")
     if run.manifest_path is not None:
         print(f"manifest     : {run.manifest_path}")
+    if run.trace_path is not None:
+        print(f"trace        : {run.trace_path} "
+              "(Chrome trace format; open in https://ui.perfetto.dev)")
+    if run.metrics_path is not None:
+        print(f"metrics      : {run.metrics_path}")
     return 0
 
 
@@ -282,12 +336,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(func=_cmd_run_all)
 
     sub = subparsers.add_parser(
-        "trace", help="trace an app and derive its manifest options"
+        "trace",
+        help="trace an app (manifest options) or, with --run/no app, "
+             "render the observability report of the last run-all",
     )
-    sub.add_argument("app")
+    sub.add_argument("app", nargs="?", default=None,
+                     help="application name; omit to report on a run")
     sub.add_argument("--counts", action="store_true",
                      help="print per-syscall counts")
+    sub.add_argument("--run", action="store_true",
+                     help="render the phase/self-time report from "
+                          "trace.json + metrics.json")
+    sub.add_argument("--top", type=int, default=15, metavar="N",
+                     help="rows in the self-time table (default 15)")
+    sub.add_argument("--output-dir", default=None, metavar="DIR",
+                     help="run output dir (default: benchmarks/output/)")
     sub.set_defaults(func=_cmd_trace)
+
+    sub = subparsers.add_parser(
+        "regress",
+        help="diff two runs' metrics/manifests; exit 1 past the threshold",
+    )
+    sub.add_argument("baseline", help="baseline run dir or metrics.json")
+    sub.add_argument("current", help="current run dir or metrics.json")
+    sub.add_argument("--threshold", type=float, default=0.10)
+    sub.add_argument("--min-ms", type=float, default=5.0)
+    sub.add_argument("--no-timings", action="store_true")
+    sub.set_defaults(func=_cmd_regress)
 
     sub = subparsers.add_parser(
         "diff",

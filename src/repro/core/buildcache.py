@@ -16,6 +16,26 @@ applications that resolve to the identical specialized configuration share
 one build, which is also what makes ``Fleet.distinct_kernels`` meaningful.
 The cache is thread-safe: the experiment harness runs independent
 experiments concurrently and they all hit this one instance.
+
+Invariants:
+
+- **Cache-key composition.** :func:`config_fingerprint` is deterministic
+  in the *set* of requested option names (order/duplicates irrelevant)
+  plus the KML flag, the applied patch list, and the caller salt --
+  nothing else.  Anything that changes the produced image must be part of
+  the key; anything that doesn't (the requesting app's name, call order)
+  must not be.
+- **Build-once accounting.** ``hits + misses`` counts every
+  ``get_or_build`` call, and ``misses == builds stored``: when two threads
+  race on a new key, the losing thread's duplicate build is discarded and
+  recorded as a *hit*, keeping "builds performed" equal to distinct
+  entries created.
+- **Factory runs unlocked.** Builds are slow; concurrent misses on
+  different keys must never serialize on the cache lock.
+
+Cache effectiveness is published to the process metrics registry as
+``buildcache.hits`` / ``buildcache.misses`` counters and the
+``buildcache.entries`` gauge (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -24,6 +44,8 @@ import hashlib
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Tuple
+
+from repro.observe import METRICS, span
 
 
 def config_fingerprint(
@@ -81,16 +103,21 @@ class KernelBuildCache:
         with self._lock:
             if key in self._entries:
                 self._hits += 1
+                METRICS.counter("buildcache.hits").inc()
                 return self._entries[key]
-        artifact = factory()
+        with span("buildcache.build", category="buildcache", key=key):
+            artifact = factory()
         with self._lock:
             if key in self._entries:
                 # Lost the race: another thread stored first; count as a hit
                 # so performed-build accounting matches stored entries.
                 self._hits += 1
+                METRICS.counter("buildcache.hits").inc()
                 return self._entries[key]
             self._entries[key] = artifact
             self._misses += 1
+            METRICS.counter("buildcache.misses").inc()
+            METRICS.gauge("buildcache.entries").set(len(self._entries))
             return artifact
 
     def __contains__(self, key: str) -> bool:

@@ -12,6 +12,18 @@ fingerprint, and reported through a JSON run manifest.
     run.telemetry.result_cache_hit_rate     # run telemetry
 
 CLI equivalent: ``python -m repro.cli run-all --jobs 4``.
+
+Package-level invariants (each submodule documents its own):
+
+- results/artifacts merge in registry order regardless of ``jobs``
+  (:mod:`.runner`);
+- the result cache is keyed on the experiment's transitive-source
+  fingerprint, never on time or environment (:mod:`.registry`,
+  :mod:`.resultcache`);
+- cached results round-trip through the JSON codec so warm and cold runs
+  are indistinguishable to consumers (:mod:`.codec`);
+- every run's observability artifacts (``trace.json``/``metrics.json``)
+  are written next to the run manifest (:mod:`repro.observe`).
 """
 
 from repro.harness.registry import (

@@ -6,6 +6,18 @@ them as canonical JSON; this codec makes the round trip faithful -- tuples
 stay tuples, non-string dict keys survive, and the registered dataclasses
 are reconstructed so cached results still answer attribute access
 (``report.latencies_us`` etc.) exactly like live ones.
+
+Invariants:
+
+- **Lossless round trip**: ``decode(encode(x)) == x`` for every value an
+  experiment may return (primitives, lists, tuples, sets, dicts with
+  non-string keys, registered dataclasses); the runner relies on this to
+  make warm and cold results indistinguishable.
+- **Deterministic encoding**: set elements are sorted, so
+  ``json.dumps(encode(x), sort_keys=True)`` is byte-stable.
+- **Closed decode surface**: the decoder only ever constructs dataclasses
+  whitelisted in :data:`RESULT_DATACLASSES` -- a cache file can never name
+  an arbitrary class to instantiate.
 """
 
 from __future__ import annotations

@@ -11,6 +11,20 @@ The inputs fingerprint is a content hash of the experiment's source *and
 the source of every repro module it (transitively) imports*, salted with
 the package version.  It is what keys the on-disk result cache: edit any
 model an experiment depends on and only the affected experiments re-run.
+
+Invariants:
+
+- **Fingerprint inputs.** The fingerprint digests exactly: the package
+  version, plus (module name, module source) for every module in the
+  experiment's transitive ``repro.*`` import closure, in sorted module
+  order.  No timestamps, paths, or environment state -- the same tree
+  always fingerprints the same, any source edit in the closure changes it.
+- **Closure via source text.** Imports are discovered by scanning source
+  for ``import repro...`` / ``from repro... import`` (including imports
+  local to functions), not by executing modules, so lazily imported
+  dependencies still invalidate the cache.
+- **Memoization is per-process.** ``_source_cache`` / ``_closure_cache``
+  assume sources do not change within one process lifetime.
 """
 
 from __future__ import annotations
@@ -75,14 +89,21 @@ def _dependency_closure(module_name: str) -> List[str]:
 
 def module_fingerprint(module_name: str) -> str:
     """Inputs fingerprint of an experiment module (see module docstring)."""
-    digest = hashlib.sha256()
-    digest.update(f"version={__version__}\n".encode("utf-8"))
-    for dependency in _dependency_closure(module_name):
-        digest.update(dependency.encode("utf-8"))
-        digest.update(b"\x00")
-        digest.update(_module_source(dependency).encode("utf-8"))
-        digest.update(b"\x01")
-    return digest.hexdigest()[:16]
+    from repro.observe import METRICS, span
+
+    with span("registry.fingerprint", category="harness",
+              module=module_name) as record:
+        digest = hashlib.sha256()
+        digest.update(f"version={__version__}\n".encode("utf-8"))
+        closure = _dependency_closure(module_name)
+        record.set_attr("closure_size", len(closure))
+        for dependency in closure:
+            digest.update(dependency.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(_module_source(dependency).encode("utf-8"))
+            digest.update(b"\x01")
+        METRICS.counter("registry.fingerprints").inc()
+        return digest.hexdigest()[:16]
 
 
 @dataclass(frozen=True)

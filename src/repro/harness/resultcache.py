@@ -6,6 +6,20 @@ rendered artifact instead of re-executing, and a fingerprint mismatch
 (changed source anywhere in the experiment's dependency closure) is a
 miss.  Files are canonical JSON (sorted keys, fixed indentation) so warm
 runs are byte-stable.
+
+Invariants:
+
+- **One file per experiment, last write wins**: the path is derived only
+  from the experiment name (``fig-7`` and ``fig_7`` collide by design --
+  registry ids never contain ``-``/``_`` ambiguity), and a store for a new
+  fingerprint replaces the old entry; the cache never accumulates stale
+  generations.
+- **Fail-open loads**: a missing, corrupt, truncated or
+  wrong-fingerprint file is a *miss*, never an error -- the experiment
+  simply re-runs and overwrites it.
+- **Stored payloads are codec-encoded**: values in ``result`` are already
+  JSON-safe (:mod:`repro.harness.codec`); this module never imports or
+  constructs result classes itself.
 """
 
 from __future__ import annotations

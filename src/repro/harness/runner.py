@@ -13,7 +13,25 @@
   executes nothing and reproduces byte-identical artifacts;
 - every run emits a JSON run manifest (``run_manifest.json``) with
   per-experiment wall time, result-cache hits/misses and kernel builds
-  performed vs. reused.
+  performed vs. reused, plus the observability artifacts ``trace.json``
+  (Chrome trace-event spans for every phase of the run; see
+  ``docs/OBSERVABILITY.md``) and ``metrics.json`` (the process metrics
+  snapshot).
+
+Invariants:
+
+- **Merge-order determinism.** Results, artifacts and manifest entries are
+  merged in *selection* order (registry order for named runs), never in
+  completion order: a ``--jobs 4`` run is byte-identical to ``--jobs 1``.
+- **Warm-run purity.** A result-cache hit must not execute experiment
+  code, perform kernel builds, or consult the kernel build cache; it only
+  decodes the stored result.  (``test_harness.py`` pins this.)
+- **Codec normalization.** Cold results pass through
+  ``decode(encode(...))`` before being returned, so cold and warm runs
+  hand consumers structurally identical objects.
+- **Span containment.** Every span the runner emits for one experiment is
+  a descendant of that experiment's ``experiment:<name>`` span; the trace
+  exporter's per-experiment breakdown depends on this.
 """
 
 from __future__ import annotations
@@ -29,6 +47,9 @@ from repro.harness.codec import decode, encode
 from repro.harness.registry import Experiment, all_experiments
 from repro.harness.resultcache import CachedResult, ResultCache
 from repro.metrics.telemetry import ExperimentTelemetry, RunTelemetry
+from repro.observe import METRICS, TRACER, span
+from repro.observe.export import write_run_artifacts
+from repro.observe.metrics import DEFAULT_MS_BUCKETS
 
 #: Manifest filename inside the output directory.
 MANIFEST_NAME = "run_manifest.json"
@@ -59,6 +80,8 @@ class HarnessRun:
     telemetry: RunTelemetry = field(default_factory=lambda: RunTelemetry(jobs=1))
     output_paths: Dict[str, pathlib.Path] = field(default_factory=dict)
     manifest_path: Optional[pathlib.Path] = None
+    trace_path: Optional[pathlib.Path] = None
+    metrics_path: Optional[pathlib.Path] = None
 
 
 @dataclass(frozen=True)
@@ -72,53 +95,73 @@ class _Outcome:
 def _execute_one(
     experiment: Experiment, cache: Optional[ResultCache], force: bool
 ) -> _Outcome:
-    fingerprint = experiment.fingerprint()
     started = time.perf_counter()
-    if cache is not None and not force:
-        entry = cache.load(experiment.name, fingerprint)
-        if entry is not None:
-            return _Outcome(
-                telemetry=ExperimentTelemetry(
-                    name=experiment.name,
-                    fingerprint=fingerprint,
-                    cache_hit=True,
-                    wall_ms=(time.perf_counter() - started) * 1000.0,
-                ),
-                result=decode(entry.result),
-                artifact_text=entry.artifact_text,
-                artifact_dat=entry.artifact_dat,
-            )
-    result = experiment.run()
-    artifact = experiment.artifact()
-    dat_text: Optional[str] = None
-    if artifact.figure is not None:
-        from repro.metrics.dataexport import figure_to_dat
+    with span(f"experiment:{experiment.name}", category="harness",
+              experiment=experiment.name) as record:
+        with span("fingerprint", category="harness"):
+            fingerprint = experiment.fingerprint()
+        if cache is not None and not force:
+            with span("cache-lookup", category="harness"):
+                entry = cache.load(experiment.name, fingerprint)
+            if entry is not None:
+                METRICS.counter("harness.result_cache.hits").inc()
+                record.set_attr("cache_hit", True)
+                wall_ms = (time.perf_counter() - started) * 1000.0
+                METRICS.histogram(
+                    "harness.experiment.wall_ms", DEFAULT_MS_BUCKETS
+                ).observe(wall_ms)
+                return _Outcome(
+                    telemetry=ExperimentTelemetry(
+                        name=experiment.name,
+                        fingerprint=fingerprint,
+                        cache_hit=True,
+                        wall_ms=wall_ms,
+                    ),
+                    result=decode(entry.result),
+                    artifact_text=entry.artifact_text,
+                    artifact_dat=entry.artifact_dat,
+                )
+        METRICS.counter("harness.result_cache.misses").inc()
+        record.set_attr("cache_hit", False)
+        with span("execute", category="harness"):
+            result = experiment.run()
+        with span("render-artifact", category="harness"):
+            artifact = experiment.artifact()
+            dat_text: Optional[str] = None
+            if artifact.figure is not None:
+                from repro.metrics.dataexport import figure_to_dat
 
-        dat_text = figure_to_dat(artifact.figure)
-    encoded = encode(result)
-    if cache is not None:
-        cache.store(
-            CachedResult(
+                dat_text = figure_to_dat(artifact.figure)
+        with span("encode", category="harness"):
+            encoded = encode(result)
+        if cache is not None:
+            with span("cache-store", category="harness"):
+                cache.store(
+                    CachedResult(
+                        name=experiment.name,
+                        fingerprint=fingerprint,
+                        result=encoded,
+                        artifact_text=artifact.text,
+                        artifact_dat=dat_text,
+                    )
+                )
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        METRICS.histogram(
+            "harness.experiment.wall_ms", DEFAULT_MS_BUCKETS
+        ).observe(wall_ms)
+        return _Outcome(
+            telemetry=ExperimentTelemetry(
                 name=experiment.name,
                 fingerprint=fingerprint,
-                result=encoded,
-                artifact_text=artifact.text,
-                artifact_dat=dat_text,
-            )
+                cache_hit=False,
+                wall_ms=wall_ms,
+            ),
+            # Normalize through the codec so cold and warm runs hand consumers
+            # byte-for-byte identical structures.
+            result=decode(encoded),
+            artifact_text=artifact.text,
+            artifact_dat=dat_text,
         )
-    return _Outcome(
-        telemetry=ExperimentTelemetry(
-            name=experiment.name,
-            fingerprint=fingerprint,
-            cache_hit=False,
-            wall_ms=(time.perf_counter() - started) * 1000.0,
-        ),
-        # Normalize through the codec so cold and warm runs hand consumers
-        # byte-for-byte identical structures.
-        result=decode(encoded),
-        artifact_text=artifact.text,
-        artifact_dat=dat_text,
-    )
 
 
 def run_experiments(
@@ -164,19 +207,34 @@ def run_experiments(
         cache = ResultCache(pathlib.Path(cache_dir))
 
     jobs = max(1, int(jobs))
+    METRICS.gauge("harness.jobs").set(jobs)
+    # Pre-register the cost counters so a fully-warm run reports them as
+    # explicit zeros rather than omitting them: the regression gate
+    # compares baseline-side counters, and "0 misses" is the very claim a
+    # warm-run baseline exists to enforce.
+    for counter_name in (
+        "harness.result_cache.hits", "harness.result_cache.misses",
+        "buildcache.hits", "buildcache.misses",
+        "kbuild.builds", "kconfig.resolutions",
+    ):
+        METRICS.counter(counter_name)
     build_stats_before = BUILD_CACHE.stats()
+    trace_mark = TRACER.mark()
     run_started = time.perf_counter()
 
-    if jobs == 1:
-        outcomes = [_execute_one(e, cache, force) for e in selected]
-    else:
-        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(_execute_one, e, cache, force) for e in selected
-            ]
-            # Futures are collected in submission (registry) order: the
-            # merge is deterministic no matter which finishes first.
-            outcomes = [future.result() for future in futures]
+    with span("harness.run", category="harness",
+              jobs=jobs, experiments=len(selected)):
+        if jobs == 1:
+            outcomes = [_execute_one(e, cache, force) for e in selected]
+        else:
+            with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_execute_one, e, cache, force)
+                    for e in selected
+                ]
+                # Futures are collected in submission (registry) order: the
+                # merge is deterministic no matter which finishes first.
+                outcomes = [future.result() for future in futures]
 
     build_stats_after = BUILD_CACHE.stats()
     telemetry = RunTelemetry(
@@ -210,4 +268,9 @@ def run_experiments(
         manifest_path = output_dir / MANIFEST_NAME
         manifest_path.write_text(telemetry.to_json(), encoding="utf-8")
         run.manifest_path = manifest_path
+        artifact_paths = write_run_artifacts(
+            output_dir, TRACER.records_since(trace_mark), METRICS
+        )
+        run.trace_path = artifact_paths["trace"]
+        run.metrics_path = artifact_paths["metrics"]
     return run

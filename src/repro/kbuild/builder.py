@@ -19,6 +19,8 @@ from repro.kbuild.image import (
 )
 from repro.kbuild.optimizer import OptLevel, Toolchain
 from repro.kconfig.resolver import ResolvedConfig
+from repro.observe import METRICS, span
+from repro.observe.metrics import DEFAULT_KB_BUCKETS
 
 
 class BuildError(RuntimeError):
@@ -55,6 +57,23 @@ class KernelBuilder:
         ``kml=True`` requires the KML patch to have been applied to the tree
         (i.e. ``KERNEL_MODE_LINUX`` resolvable and enabled in *config*).
         """
+        with span("kbuild.build", category="kbuild",
+                  config=name or config.name or "kernel",
+                  options=len(config.enabled), kml=kml):
+            image = self._build(config, name=name, kml=kml, patches=patches)
+        METRICS.counter("kbuild.builds").inc()
+        METRICS.histogram(
+            "kbuild.image.compressed_kb", DEFAULT_KB_BUCKETS
+        ).observe(image.compressed_kb)
+        return image
+
+    def _build(
+        self,
+        config: ResolvedConfig,
+        name: Optional[str] = None,
+        kml: bool = False,
+        patches: Tuple[str, ...] = (),
+    ) -> KernelImage:
         self._check_buildable(config)
         if kml:
             if "kml" not in patches:

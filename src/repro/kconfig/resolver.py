@@ -110,24 +110,41 @@ class Resolver:
         In strict mode, requesting an option the tree does not define raises
         :class:`UnknownOptionError`; otherwise unknown requests are dropped.
         """
-        pinned = self._validate_requests(requested)
-        values = self._initial_values(pinned)
-        demoted: Dict[str, str] = {}
-        select_violations: Set[Tuple[str, str]] = set()
+        from repro.observe import METRICS, span
 
-        for _ in range(_MAX_ITERATIONS):
-            changed = False
-            # select overrides depends-on in kconfig, so compute the set of
-            # select-forced targets first and exempt them from demotion.
-            forced = self._forced_targets(values)
-            changed |= self._apply_dependencies(values, pinned, demoted, forced)
-            changed |= self._apply_selects(values, demoted, select_violations)
-            changed |= self._apply_defaults(values, pinned)
-            changed |= self._apply_choices(values, pinned, demoted)
-            if not changed:
-                break
-        else:
-            raise ResolutionError("configuration did not converge")
+        with span("kconfig.resolve", category="kconfig",
+                  config=name, requested=len(requested)) as record:
+            pinned = self._validate_requests(requested)
+            values = self._initial_values(pinned)
+            demoted: Dict[str, str] = {}
+            select_violations: Set[Tuple[str, str]] = set()
+
+            iterations = 0
+            for _ in range(_MAX_ITERATIONS):
+                iterations += 1
+                changed = False
+                # select overrides depends-on in kconfig, so compute the set
+                # of select-forced targets first and exempt them from
+                # demotion.
+                forced = self._forced_targets(values)
+                changed |= self._apply_dependencies(
+                    values, pinned, demoted, forced
+                )
+                changed |= self._apply_selects(
+                    values, demoted, select_violations
+                )
+                changed |= self._apply_defaults(values, pinned)
+                changed |= self._apply_choices(values, pinned, demoted)
+                if not changed:
+                    break
+            else:
+                raise ResolutionError("configuration did not converge")
+            record.set_attr("iterations", iterations)
+            METRICS.counter("kconfig.resolutions").inc()
+            METRICS.histogram(
+                "kconfig.resolve.iterations",
+                (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+            ).observe(iterations)
 
         # Re-check select-forced options against their dependencies one last
         # time so violations caused by late demotions are recorded.

@@ -5,7 +5,9 @@ time and result-cache outcome, plus run-level kernel-build accounting
 (builds performed vs. reused out of the shared
 :class:`~repro.core.buildcache.KernelBuildCache`).  Serialized as a JSON
 run manifest under ``benchmarks/output/`` so runs are comparable across
-machines and commits.
+machines and commits.  The manifest schema is documented in
+EXPERIMENTS.md ("Run manifest schema") and consumed by the regression
+gate (:mod:`repro.observe.regress`).
 """
 
 from __future__ import annotations
@@ -55,6 +57,7 @@ class RunTelemetry:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "schema_version": 1,
             "jobs": self.jobs,
             "total_wall_ms": self.total_wall_ms,
             "experiments": [e.to_dict() for e in self.experiments],

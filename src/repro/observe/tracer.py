@@ -1,0 +1,237 @@
+"""The deterministic span tracer.
+
+A :class:`Tracer` records a tree of named spans -- one
+:class:`SpanRecord` per ``with tracer.span("name")`` block -- with two
+clocks per span:
+
+- a **host clock** (:class:`HostClock`, ``time.perf_counter``): real wall
+  time, for profiling where a run actually spends its time;
+- a **simulated clock** (:class:`SimClock`): a monotonic counter the
+  simulators advance explicitly (e.g. the boot simulator advances it by
+  each phase's modelled duration), so traces also carry the
+  *deterministic* time the models computed.
+
+Spans nest per thread (the experiment harness runs spans concurrently on
+a thread pool; each pool thread keeps its own stack), and every record
+carries a global sequence index plus its parent's index, so the full tree
+is reconstructible from the flat event list -- which is exactly how the
+Chrome-trace exporter (:mod:`repro.observe.export`) ships it.
+
+Determinism: span *structure* (names, nesting, per-thread order,
+attributes) is a pure function of the traced code path.  ``span_tree()``
+projects records onto that structure, so two identical runs compare equal
+even though host timestamps differ; with a :class:`TickClock` the full
+records (timestamps included) are bit-identical.
+
+The process-wide instance is :data:`repro.observe.TRACER`; library code
+uses the module-level :func:`span` / :func:`traced` conveniences so call
+sites stay one line.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from contextlib import contextmanager
+
+
+class HostClock:
+    """Monotonic host time in microseconds (``time.perf_counter``)."""
+
+    def now_us(self) -> float:
+        return time.perf_counter() * 1e6
+
+
+class TickClock:
+    """A deterministic clock: advances a fixed step per reading.
+
+    Used by tests (and available to any caller wanting bit-identical
+    traces): with a ``TickClock`` two identical runs produce identical
+    timestamps, not just identical span trees.
+    """
+
+    def __init__(self, step_us: float = 1.0) -> None:
+        self.step_us = step_us
+        self._now = 0.0
+
+    def now_us(self) -> float:
+        self._now += self.step_us
+        return self._now
+
+
+class SimClock:
+    """The simulated-time axis: a monotonic ms counter advanced by models.
+
+    Simulators call :meth:`advance` with modelled durations (boot phase
+    times, syscall costs...).  It never reads the host clock, so simulated
+    timestamps are deterministic across machines and runs.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._now_ms = 0.0
+
+    @property
+    def now_ms(self) -> float:
+        with self._lock:
+            return self._now_ms
+
+    def advance(self, ms: float) -> float:
+        """Advance simulated time by *ms* (>= 0), returning the new now."""
+        if ms < 0:
+            raise ValueError(f"simulated time cannot go backwards ({ms} ms)")
+        with self._lock:
+            self._now_ms += ms
+            return self._now_ms
+
+    def reset(self) -> None:
+        with self._lock:
+            self._now_ms = 0.0
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    category: str
+    index: int                      # global sequence number (creation order)
+    parent_index: Optional[int]     # enclosing span on the same thread
+    thread_id: int
+    depth: int                      # nesting depth on its thread (0 = root)
+    start_us: float = 0.0
+    duration_us: float = 0.0
+    sim_start_ms: float = 0.0
+    sim_duration_ms: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute while the span is live."""
+        self.attrs[key] = value
+
+
+class Tracer:
+    """Records nested spans (see module docstring)."""
+
+    def __init__(self, clock: Optional[HostClock] = None,
+                 sim: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else HostClock()
+        self.sim = sim if sim is not None else SimClock()
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._stacks = threading.local()
+
+    # -- recording ---------------------------------------------------------
+
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._stacks, "value", None)
+        if stack is None:
+            stack = []
+            self._stacks.value = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro",
+             **attrs: Any) -> Iterator[SpanRecord]:
+        """Record a span around the ``with`` body.
+
+        Keyword arguments become span attributes; the yielded record
+        accepts more via :meth:`SpanRecord.set_attr` while live.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            record = SpanRecord(
+                name=name,
+                category=category,
+                index=len(self._records),
+                parent_index=parent.index if parent is not None else None,
+                thread_id=threading.get_ident(),
+                depth=len(stack),
+                attrs=dict(attrs),
+            )
+            self._records.append(record)
+        record.start_us = self.clock.now_us()
+        record.sim_start_ms = self.sim.now_ms
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            stack.pop()
+            record.duration_us = max(
+                0.0, self.clock.now_us() - record.start_us
+            )
+            record.sim_duration_ms = max(
+                0.0, self.sim.now_ms - record.sim_start_ms
+            )
+
+    def traced(self, name: Optional[str] = None,
+               category: str = "repro") -> Callable:
+        """Decorator form of :meth:`span` (default name: the function's)."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(span_name, category=category):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- reading -----------------------------------------------------------
+
+    def mark(self) -> int:
+        """A watermark: pass to :meth:`records_since` to scope one run."""
+        with self._lock:
+            return len(self._records)
+
+    def records(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def records_since(self, mark: int) -> List[SpanRecord]:
+        """Spans recorded (started) at or after *mark*."""
+        with self._lock:
+            return list(self._records[mark:])
+
+    def span_tree(self, records: Optional[List[SpanRecord]] = None
+                  ) -> List[Dict[str, Any]]:
+        """The deterministic structural projection of recorded spans.
+
+        Returns a forest of ``{"name", "category", "attrs", "children"}``
+        nodes (no timestamps, no thread ids): identical code paths yield
+        identical trees, which is what the determinism tests compare.
+        """
+        if records is None:
+            records = self.records()
+        nodes = {
+            record.index: {
+                "name": record.name,
+                "category": record.category,
+                "attrs": dict(record.attrs),
+                "children": [],
+            }
+            for record in records
+        }
+        roots: List[Dict[str, Any]] = []
+        for record in records:          # creation order => stable ordering
+            node = nodes[record.index]
+            parent = (
+                nodes.get(record.parent_index)
+                if record.parent_index is not None else None
+            )
+            (parent["children"] if parent is not None else roots).append(node)
+        return roots
+
+    def reset(self) -> None:
+        """Drop all records and rewind the simulated clock (tests)."""
+        with self._lock:
+            self._records.clear()
+        self.sim.reset()

@@ -70,17 +70,24 @@ class Monitor:
         monitor's block device or console -- the simulated analogue of a
         hang at boot.
         """
-        if not self._has_driver(image, DeviceKind.VIRTIO_MMIO_BLK) and not (
-            self._has_driver(image, DeviceKind.EMULATED_IDE)
-        ):
-            raise MonitorError(
-                f"{self.name}: guest kernel has no driver for any exposed "
-                "block device"
-            )
-        if DeviceKind.SERIAL_16550 in self.devices and not self._has_driver(
-            image, DeviceKind.SERIAL_16550
-        ):
-            raise MonitorError(f"{self.name}: guest kernel has no console driver")
+        from repro.observe import METRICS, span
+
+        with span("vmm.check_guest", category="vmm",
+                  monitor=self.name, image=image.name):
+            METRICS.counter("vmm.guest_checks").inc()
+            if not self._has_driver(image, DeviceKind.VIRTIO_MMIO_BLK) and not (
+                self._has_driver(image, DeviceKind.EMULATED_IDE)
+            ):
+                raise MonitorError(
+                    f"{self.name}: guest kernel has no driver for any exposed "
+                    "block device"
+                )
+            if DeviceKind.SERIAL_16550 in self.devices and not self._has_driver(
+                image, DeviceKind.SERIAL_16550
+            ):
+                raise MonitorError(
+                    f"{self.name}: guest kernel has no console driver"
+                )
 
     def _has_driver(self, image: KernelImage, kind: DeviceKind) -> bool:
         if kind not in self.devices:

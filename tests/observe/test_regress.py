@@ -1,0 +1,157 @@
+"""Tests for the regression gate (threshold boundaries pinned exactly)."""
+
+import json
+
+from repro.observe.regress import compare_runs, is_cost_counter, main
+
+
+def _metrics(**counters):
+    return {"counters": counters, "gauges": {}, "histograms": {}}
+
+
+def _manifest(total_ms, experiments=()):
+    return {
+        "total_wall_ms": total_ms,
+        "experiments": [
+            {"name": name, "wall_ms": wall} for name, wall in experiments
+        ],
+    }
+
+
+class TestThresholdBoundaries:
+    def test_identical_runs_pass(self):
+        metrics = _metrics(**{"buildcache.misses": 7})
+        manifest = _manifest(100.0, [("fig7", 50.0)])
+        report = compare_runs(metrics, metrics, manifest, manifest)
+        assert report.passed
+
+    def test_exactly_at_threshold_passes(self):
+        # 10% threshold, 100 -> 110: exactly at the bound, strict >.
+        report = compare_runs(
+            _metrics(**{"buildcache.misses": 100}),
+            _metrics(**{"buildcache.misses": 110}),
+            threshold=0.10,
+        )
+        assert report.passed
+
+    def test_just_past_threshold_fails(self):
+        report = compare_runs(
+            _metrics(**{"buildcache.misses": 100}),
+            _metrics(**{"buildcache.misses": 111}),
+            threshold=0.10,
+        )
+        assert not report.passed
+        (regression,) = report.regressions
+        assert regression.name == "buildcache.misses"
+
+    def test_timing_exactly_at_threshold_passes(self):
+        report = compare_runs(
+            _metrics(), _metrics(),
+            _manifest(1000.0), _manifest(1100.0),
+            threshold=0.10, min_ms=5.0,
+        )
+        assert report.passed
+
+    def test_timing_slowdown_past_threshold_fails(self):
+        report = compare_runs(
+            _metrics(), _metrics(),
+            _manifest(1000.0), _manifest(1200.0),
+            threshold=0.10, min_ms=5.0,
+        )
+        assert [d.name for d in report.regressions] == ["total_wall_ms"]
+
+    def test_min_ms_absorbs_tiny_absolute_slowdowns(self):
+        # 3x slower but only 2 ms absolute: below min_ms, passes.
+        report = compare_runs(
+            _metrics(), _metrics(),
+            _manifest(10.0, [("fig5", 1.0)]),
+            _manifest(10.0, [("fig5", 3.0)]),
+            threshold=0.10, min_ms=5.0,
+        )
+        assert report.passed
+
+    def test_per_experiment_slowdown_fails(self):
+        report = compare_runs(
+            _metrics(), _metrics(),
+            _manifest(100.0, [("fig7", 100.0)]),
+            _manifest(100.0, [("fig7", 200.0)]),
+            threshold=0.10, min_ms=5.0,
+        )
+        assert [d.name for d in report.regressions] == ["experiment:fig7"]
+
+
+class TestGateSemantics:
+    def test_non_cost_counters_never_fail(self):
+        report = compare_runs(
+            _metrics(**{"buildcache.hits": 10}),
+            _metrics(**{"buildcache.hits": 1000}),
+        )
+        assert report.passed
+
+    def test_cost_counter_classification(self):
+        assert is_cost_counter("harness.result_cache.misses")
+        assert is_cost_counter("kernel_builds.performed")
+        assert is_cost_counter("kconfig.resolutions")
+        assert not is_cost_counter("buildcache.hits")
+        assert not is_cost_counter("boot.boots")
+
+    def test_counters_missing_from_current_are_skipped(self):
+        report = compare_runs(
+            _metrics(**{"buildcache.misses": 5, "gone.misses": 1}),
+            _metrics(**{"buildcache.misses": 5}),
+        )
+        assert report.passed
+        assert [d.name for d in report.deltas] == ["buildcache.misses"]
+
+    def test_no_timings_skips_manifests(self):
+        report = compare_runs(
+            _metrics(), _metrics(),
+            _manifest(100.0), _manifest(900.0),
+            timings=False,
+        )
+        assert report.passed and report.deltas == []
+
+    def test_zero_baseline_growth_is_regression(self):
+        report = compare_runs(
+            _metrics(**{"buildcache.misses": 0}),
+            _metrics(**{"buildcache.misses": 1}),
+        )
+        assert not report.passed
+
+
+class TestCliEntrypoint:
+    def _write_run(self, directory, counters, total_ms):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "metrics.json").write_text(
+            json.dumps(_metrics(**counters))
+        )
+        (directory / "run_manifest.json").write_text(
+            json.dumps(_manifest(total_ms))
+        )
+
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        self._write_run(tmp_path / "a", {"buildcache.misses": 3}, 100.0)
+        assert main([str(tmp_path / "a"), str(tmp_path / "a")]) == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_nonzero(self, tmp_path, capsys):
+        self._write_run(tmp_path / "base", {"buildcache.misses": 3}, 100.0)
+        self._write_run(tmp_path / "cur", {"buildcache.misses": 3}, 200.0)
+        assert main([str(tmp_path / "base"), str(tmp_path / "cur")]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_no_timings_ignores_wall_clock(self, tmp_path):
+        self._write_run(tmp_path / "base", {"buildcache.misses": 3}, 100.0)
+        self._write_run(tmp_path / "cur", {"buildcache.misses": 3}, 200.0)
+        assert main(
+            [str(tmp_path / "base"), str(tmp_path / "cur"), "--no-timings"]
+        ) == 0
+
+    def test_metrics_file_paths_accepted(self, tmp_path):
+        self._write_run(tmp_path / "a", {"buildcache.misses": 3}, 100.0)
+        metrics_file = str(tmp_path / "a" / "metrics.json")
+        assert main([metrics_file, metrics_file]) == 0
+
+    def test_missing_input_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope"), str(tmp_path / "nope")]) == 2
+        assert "cannot load" in capsys.readouterr().err

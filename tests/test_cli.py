@@ -112,3 +112,43 @@ class TestRunAll:
             ["run-all", "--only", "fig99", "--output-dir", str(tmp_path)]
         ) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_all_emits_observability_artifacts(self, capsys, tmp_path):
+        assert main(
+            ["run-all", "--only", "fig5", "--output-dir", str(tmp_path)]
+        ) == 0
+        assert (tmp_path / "trace.json").exists()
+        assert (tmp_path / "metrics.json").exists()
+        output = capsys.readouterr().out
+        assert "trace" in output and "metrics" in output
+
+
+class TestObservabilityCli:
+    def test_trace_run_renders_report(self, capsys, tmp_path):
+        assert main(
+            ["run-all", "--only", "fig5,fig7", "--output-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", "--run", "--output-dir", str(tmp_path), "--top", "5"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "self time" in output
+        assert "phase breakdown" in output
+        assert "fig7" in output
+
+    def test_trace_without_app_defaults_to_run_report(self, capsys, tmp_path):
+        main(["run-all", "--only", "fig5", "--output-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["trace", "--output-dir", str(tmp_path)]) == 0
+        assert "phase breakdown" in capsys.readouterr().out
+
+    def test_trace_run_without_artifacts_errors(self, capsys, tmp_path):
+        assert main(["trace", "--run", "--output-dir", str(tmp_path)]) == 2
+        assert "run-all" in capsys.readouterr().err
+
+    def test_regress_identical_runs_pass(self, capsys, tmp_path):
+        main(["run-all", "--only", "fig5", "--output-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["regress", str(tmp_path), str(tmp_path)]) == 0
+        assert "0 regressed" in capsys.readouterr().out

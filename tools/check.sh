@@ -1,9 +1,17 @@
 #!/bin/sh
-# Repo health check: tier-1 tests plus the EXPERIMENTS.md generator.
+# Repo health check: tier-1 tests, the EXPERIMENTS.md generator, and the
+# observability perf gate.
 #
 # The generator is deliberately run from a temporary working directory to
 # guard the sys.path bootstrap in tools/generate_experiments_md.py -- it
 # must locate the repro package regardless of the caller's cwd.
+#
+# The perf gate runs run-all twice into a scratch directory (first run
+# warms the result cache, second run must be fully warm) and compares the
+# warm run's cost counters against benchmarks/baseline/metrics.json with
+# timings disabled, so it holds on any machine.  Artifacts from the warm
+# run are left in $RUN_DIR for CI to archive (override with
+# CHECK_RUN_DIR).
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -17,5 +25,18 @@ trap 'rm -rf "$TMP_DIR"' EXIT
 (cd "$TMP_DIR" && python "$REPO_ROOT/tools/generate_experiments_md.py" --jobs 2)
 test -s "$TMP_DIR/EXPERIMENTS.md"
 grep -q "Running the experiments" "$TMP_DIR/EXPERIMENTS.md"
+grep -q "Run manifest schema" "$TMP_DIR/EXPERIMENTS.md"
+
+echo "==> warm run-all + regression gate"
+RUN_DIR=${CHECK_RUN_DIR:-"$TMP_DIR/run"}
+cd "$REPO_ROOT"
+PYTHONPATH=src python -m repro.cli run-all --jobs 2 --output-dir "$RUN_DIR" \
+    > /dev/null
+PYTHONPATH=src python -m repro.cli run-all --jobs 2 --output-dir "$RUN_DIR"
+test -s "$RUN_DIR/trace.json"
+test -s "$RUN_DIR/metrics.json"
+test -s "$RUN_DIR/run_manifest.json"
+PYTHONPATH=src python -m repro.observe.regress \
+    benchmarks/baseline "$RUN_DIR" --no-timings
 
 echo "==> all checks passed"
