@@ -17,6 +17,9 @@ Subcommands:
   breakdown (see docs/OBSERVABILITY.md).
 - ``regress A B``      -- the perf gate: diff two runs' metrics/manifests
   and exit nonzero past a threshold.
+- ``bench-resolve``    -- the resolver microbenchmark: cold sweep vs cold
+  worklist vs warm-start delta vs cache hit, as deterministic work-counter
+  deltas written to ``BENCH_resolve.json`` next to the run manifest.
 - ``apps``             -- list the top-20 application registry.
 """
 
@@ -151,6 +154,41 @@ def _cmd_regress(args: argparse.Namespace) -> int:
     if args.no_timings:
         argv.append("--no-timings")
     return regress.main(argv)
+
+
+def _cmd_bench_resolve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.harness.runner import default_output_dir
+    from repro.kconfig.bench import (
+        BENCH_RESOLVE_NAME,
+        check_result,
+        render_summary,
+        run_bench,
+        write_result,
+    )
+
+    result = run_bench()
+    output_dir = (
+        pathlib.Path(args.output_dir)
+        if args.output_dir is not None else default_output_dir()
+    )
+    result_path = output_dir / BENCH_RESOLVE_NAME
+    write_result(result, result_path)
+    print(render_summary(result))
+    print(f"written      : {result_path}")
+    if args.snapshot is not None:
+        snapshot_path = pathlib.Path(args.snapshot)
+        write_result(result, snapshot_path)
+        print(f"snapshot     : {snapshot_path}")
+    if args.check:
+        failures = check_result(result)
+        for failure in failures:
+            print(f"CHECK FAILED : {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check        : ok (warm-start and cache criteria hold)")
+    return 0
 
 
 def _resolve_config_argument(name: str):
@@ -363,6 +401,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--min-ms", type=float, default=5.0)
     sub.add_argument("--no-timings", action="store_true")
     sub.set_defaults(func=_cmd_regress)
+
+    sub = subparsers.add_parser(
+        "bench-resolve",
+        help="kconfig resolver microbenchmark (deterministic counter "
+             "deltas; writes BENCH_resolve.json)",
+    )
+    sub.add_argument("--check", action="store_true",
+                     help="exit 1 unless warm-start visits >=10x fewer "
+                          "options than cold sweeps and cache hits do no "
+                          "resolution work")
+    sub.add_argument("--snapshot", default=None, metavar="PATH",
+                     help="also write the result JSON to PATH (e.g. "
+                          "benchmarks/baseline/BENCH_resolve.json)")
+    sub.add_argument("--output-dir", default=None, metavar="DIR",
+                     help="where BENCH_resolve.json lands "
+                          "(default: benchmarks/output/)")
+    sub.set_defaults(func=_cmd_bench_resolve)
 
     sub = subparsers.add_parser(
         "diff",

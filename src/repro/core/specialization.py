@@ -12,6 +12,7 @@ from typing import FrozenSet, List, Optional, Union
 from repro.apps.app import Application
 from repro.apps.registry import TOP20_APPS, lupine_general_option_union
 from repro.core.manifest import ApplicationManifest, derive_options, generate_manifest
+from repro.kconfig.configs import lupine_base_config
 from repro.kconfig.database import base_option_names, build_linux_tree
 from repro.kconfig.model import KconfigTree
 from repro.kconfig.resolver import ResolvedConfig, Resolver
@@ -39,7 +40,12 @@ def app_config(
     app_or_manifest: Union[Application, ApplicationManifest],
     tree: Optional[KconfigTree] = None,
 ) -> ResolvedConfig:
-    """Resolve the application-specific Lupine configuration."""
+    """Resolve the application-specific Lupine configuration.
+
+    Derived warm from the shared ``lupine-base`` fixpoint: the N-th app
+    config re-resolves only the cone reachable from the app's extra
+    options instead of sweeping the whole tree again.
+    """
     if tree is None:
         tree = build_linux_tree()
     name = (
@@ -47,8 +53,11 @@ def app_config(
         if isinstance(app_or_manifest, Application)
         else app_or_manifest.app_name
     )
-    return Resolver(tree).resolve_names(
-        app_config_names(app_or_manifest), name=f"lupine-{name}"
+    resolver = Resolver(tree)
+    return resolver.resolve_names_from(
+        lupine_base_config(tree),
+        app_config_names(app_or_manifest),
+        name=f"lupine-{name}",
     )
 
 
@@ -58,11 +67,16 @@ def lupine_general_names() -> List[str]:
 
 
 def lupine_general_config(tree: Optional[KconfigTree] = None) -> ResolvedConfig:
-    """The lupine-general configuration (runs all top-20 apps)."""
+    """The lupine-general configuration (runs all top-20 apps).
+
+    Like :func:`app_config`, derived warm from ``lupine-base``.
+    """
     if tree is None:
         tree = build_linux_tree()
-    return Resolver(tree).resolve_names(lupine_general_names(),
-                                        name="lupine-general")
+    return Resolver(tree).resolve_names_from(
+        lupine_base_config(tree), lupine_general_names(),
+        name="lupine-general",
+    )
 
 
 def verify_general_covers_top20() -> bool:

@@ -21,7 +21,7 @@ from repro.core.manifest import ApplicationManifest
 from repro.core.specialization import app_config_names, lupine_general_names
 from repro.kbuild.builder import KernelBuilder
 from repro.kbuild.image import KernelImage
-from repro.kconfig.configs import microvm_config
+from repro.kconfig.configs import lupine_base_config, microvm_config
 from repro.kconfig.database import base_option_names, build_linux_tree
 from repro.kconfig.resolver import ResolvedConfig, Resolver
 from repro.kml.patch import KmlPatch
@@ -173,8 +173,12 @@ def build_variant(
                 else target.app_name
             )
         )
-        config = Resolver(tree).resolve_names(
-            names, name=f"{variant.value}[{target_name}]"
+        # Every variant is a small request delta against lupine-base, so
+        # derive it warm from the shared base fixpoint (resolved once per
+        # tree and served from the resolution cache thereafter).
+        config = Resolver(tree).resolve_names_from(
+            lupine_base_config(tree), names,
+            name=f"{variant.value}[{target_name}]",
         )
         image = KernelBuilder().build(
             config, name=config.name, kml=variant.kml, patches=patches

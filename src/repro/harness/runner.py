@@ -216,6 +216,8 @@ def run_experiments(
         "harness.result_cache.hits", "harness.result_cache.misses",
         "buildcache.hits", "buildcache.misses",
         "kbuild.builds", "kconfig.resolutions",
+        "kconfig.resolve.cache_hits", "kconfig.resolve.cache_misses",
+        "kconfig.resolve.visited_options", "kconfig.expr.evals",
     ):
         METRICS.counter(counter_name)
     build_stats_before = BUILD_CACHE.stats()

@@ -3,11 +3,17 @@
 This subpackage models the parts of Kconfig the paper relies on:
 
 - :mod:`repro.kconfig.expr` -- the tristate expression language used by
-  ``depends on``, ``default`` and friends.
+  ``depends on``, ``default`` and friends, with an expression compiler for
+  hot evaluation paths.
 - :mod:`repro.kconfig.model` -- configuration options and the option tree.
 - :mod:`repro.kconfig.parser` -- a parser for Kconfig-language source text.
 - :mod:`repro.kconfig.resolver` -- ``olddefconfig``-style resolution of a
-  requested option set into a complete, dependency-consistent configuration.
+  requested option set into a complete, dependency-consistent configuration;
+  incremental (worklist) by default, with the full-sweep oracle behind
+  ``strategy="sweep"`` and warm-start derivation via ``resolve_from``.
+- :mod:`repro.kconfig.index` -- the per-tree resolution index (reverse
+  dependencies + compiled expressions) backing the worklist engine.
+- :mod:`repro.kconfig.rescache` -- the process-wide resolution cache.
 - :mod:`repro.kconfig.database` -- a generated model of the Linux 4.0 option
   database (15,953 options, distributed across source directories as in
   Figure 3 of the paper).
@@ -15,19 +21,25 @@ This subpackage models the parts of Kconfig the paper relies on:
   ``tinyconfig``, Firecracker's ``microvm`` and the paper's ``lupine-base``.
 """
 
-from repro.kconfig.expr import Tristate, parse_expr
+from repro.kconfig.expr import Tristate, compile_expr, parse_expr
+from repro.kconfig.index import ResolutionIndex
 from repro.kconfig.model import ConfigOption, KconfigTree, OptionType
 from repro.kconfig.parser import KconfigParseError, parse_kconfig
+from repro.kconfig.rescache import RESOLUTION_CACHE, ResolutionCache
 from repro.kconfig.resolver import ResolvedConfig, Resolver
 
 __all__ = [
+    "RESOLUTION_CACHE",
     "ConfigOption",
     "KconfigParseError",
     "KconfigTree",
     "OptionType",
+    "ResolutionCache",
+    "ResolutionIndex",
     "ResolvedConfig",
     "Resolver",
     "Tristate",
+    "compile_expr",
     "parse_expr",
     "parse_kconfig",
 ]

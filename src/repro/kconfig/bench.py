@@ -1,0 +1,185 @@
+"""The ``bench-resolve`` microbenchmark: resolver work, counted.
+
+Measures the deterministic *work counters* of the resolution engines over
+the paper's 20 application configurations, in four scenarios plus the
+shared base cost:
+
+- ``cold_sweep``     -- 20 cold resolutions through the full-sweep oracle;
+- ``cold_worklist``  -- the same 20, cold, through the worklist engine;
+- ``warm_base``      -- one cold worklist resolution of ``lupine-base``
+  (the fixpoint all warm derivations share);
+- ``warm_delta``     -- the 20 app configs derived warm from that base
+  via ``Resolver.resolve_from`` (the production path);
+- ``cache_hit``      -- the 20 app configs served from the process-wide
+  resolution cache (zero resolution work).
+
+Everything reported is a counter *delta* (visited options, expression
+evaluations, resolutions performed) -- no wall-clock -- so the output is
+byte-stable across machines and directly comparable by the ``regress``
+gate.  The emitted JSON is shaped exactly like ``metrics.json``
+(``counters`` / ``gauges`` / ``histograms``), with per-scenario counter
+names such as ``kconfig.resolve.visited_options.warm_delta``; the
+checked-in snapshot lives at ``benchmarks/baseline/BENCH_resolve.json``.
+
+``check_result`` enforces the headline acceptance claim: warm-start
+derivation of all 20 variants must visit at least
+:data:`MIN_SWEEP_OVER_WARM_RATIO` times fewer options than 20 cold
+sweeps, and cache hits must visit none at all.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.observe import METRICS
+
+#: File the benchmark JSON is written to, next to the run manifest.
+BENCH_RESOLVE_NAME = "BENCH_resolve.json"
+
+#: The acceptance floor: cold sweeps must visit at least this many times
+#: more options than the warm per-app derivations.
+MIN_SWEEP_OVER_WARM_RATIO = 10.0
+
+_WORK_COUNTERS = (
+    "kconfig.resolutions",
+    "kconfig.resolve.visited_options",
+    "kconfig.expr.evals",
+    "kconfig.resolve.cache_hits",
+    "kconfig.resolve.cache_misses",
+)
+
+
+def _measure(fn: Callable[[], None]) -> Dict[str, int]:
+    """Run *fn* and return the work-counter deltas it caused."""
+    before = {name: METRICS.counter(name).value for name in _WORK_COUNTERS}
+    fn()
+    return {
+        name: METRICS.counter(name).value - before[name]
+        for name in _WORK_COUNTERS
+    }
+
+
+def run_bench() -> Dict[str, Any]:
+    """Run every scenario and return the metrics-shaped result document."""
+    from repro.apps.registry import TOP20_APPS
+    from repro.core.specialization import app_config_names
+    from repro.kconfig.database import base_option_names, build_linux_tree
+    from repro.kconfig.rescache import RESOLUTION_CACHE
+    from repro.kconfig.resolver import Resolver
+
+    tree = build_linux_tree()
+    request_sets: List[Tuple[str, List[str]]] = [
+        (app.name, app_config_names(app)) for app in TOP20_APPS
+    ]
+    sweep = Resolver(tree, strategy="sweep")
+    worklist = Resolver(tree)
+    sections: Dict[str, Dict[str, int]] = {}
+
+    sections["cold_sweep"] = _measure(lambda: [
+        sweep.resolve_names(names, name=f"bench-sweep-{app}")
+        for app, names in request_sets
+    ])
+    sections["cold_worklist"] = _measure(lambda: [
+        worklist.resolve_names(
+            names, name=f"bench-cold-{app}", use_cache=False
+        )
+        for app, names in request_sets
+    ])
+
+    base_box: List[Any] = []
+    sections["warm_base"] = _measure(lambda: base_box.append(
+        worklist.resolve_names(
+            base_option_names(), name="lupine-base", use_cache=False
+        )
+    ))
+    base = base_box[0]
+    sections["warm_delta"] = _measure(lambda: [
+        worklist.resolve_names_from(
+            base, names, name=f"bench-warm-{app}", use_cache=False
+        )
+        for app, names in request_sets
+    ])
+
+    # The cache scenario owns the cache: start it empty, populate with the
+    # 20 app resolutions (misses), then measure the second round (hits).
+    RESOLUTION_CACHE.reset()
+    for app, names in request_sets:
+        worklist.resolve_names(names, name=f"bench-cached-{app}")
+    sections["cache_hit"] = _measure(lambda: [
+        worklist.resolve_names(names, name=f"bench-cached-{app}")
+        for app, names in request_sets
+    ])
+
+    counters = {
+        f"{metric}.{section}": value
+        for section, deltas in sections.items()
+        for metric, value in deltas.items()
+    }
+    warm = counters["kconfig.resolve.visited_options.warm_delta"]
+    cold = counters["kconfig.resolve.visited_options.cold_sweep"]
+    ratio = cold / warm if warm else float("inf")
+    return {
+        "counters": counters,
+        "gauges": {
+            "kconfig.resolve.bench_apps": float(len(request_sets)),
+            "kconfig.resolve.sweep_over_warm_visited_ratio": round(ratio, 2),
+        },
+        "histograms": {},
+    }
+
+
+def check_result(result: Dict[str, Any]) -> List[str]:
+    """Return acceptance-criterion violations ([] when the result passes)."""
+    counters = result.get("counters", {})
+    failures: List[str] = []
+    warm = counters.get("kconfig.resolve.visited_options.warm_delta", 0)
+    cold = counters.get("kconfig.resolve.visited_options.cold_sweep", 0)
+    ratio = cold / warm if warm else float("inf")
+    if ratio < MIN_SWEEP_OVER_WARM_RATIO:
+        failures.append(
+            f"warm-start derivation visited only {ratio:.1f}x fewer options "
+            f"than cold sweeps ({cold} vs {warm}); "
+            f"need >= {MIN_SWEEP_OVER_WARM_RATIO:.0f}x"
+        )
+    hit_visited = counters.get("kconfig.resolve.visited_options.cache_hit", 0)
+    if hit_visited != 0:
+        failures.append(
+            f"cache-hit resolutions visited {hit_visited} options; "
+            "hits must do no resolution work"
+        )
+    hits = counters.get("kconfig.resolve.cache_hits.cache_hit", 0)
+    apps = int(result.get("gauges", {}).get("kconfig.resolve.bench_apps", 0))
+    if hits != apps:
+        failures.append(
+            f"expected {apps} resolution-cache hits, observed {hits}"
+        )
+    return failures
+
+
+def write_result(result: Dict[str, Any], path: pathlib.Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def render_summary(result: Dict[str, Any]) -> str:
+    """Human-readable scenario table for the CLI."""
+    counters = result["counters"]
+    sections = ("cold_sweep", "cold_worklist", "warm_base", "warm_delta",
+                "cache_hit")
+    lines = [
+        f"{'scenario':<14} {'resolutions':>11} {'visited':>9} {'evals':>9}"
+    ]
+    for section in sections:
+        lines.append(
+            f"{section:<14} "
+            f"{counters[f'kconfig.resolutions.{section}']:>11} "
+            f"{counters[f'kconfig.resolve.visited_options.{section}']:>9} "
+            f"{counters[f'kconfig.expr.evals.{section}']:>9}"
+        )
+    ratio = result["gauges"]["kconfig.resolve.sweep_over_warm_visited_ratio"]
+    lines.append(f"sweep/warm visited ratio: x{ratio:g}")
+    return "\n".join(lines)

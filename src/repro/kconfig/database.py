@@ -293,6 +293,10 @@ def build_linux_tree(
         raise AssertionError(
             f"tree has {len(tree)} options, expected {LINUX_4_0_TOTAL_OPTIONS}"
         )
+    # Pre-build the resolution index (reverse dependencies + compiled
+    # expressions) while we hold the lru_cache slot: the tree is complete
+    # here, and every resolver on this shared instance reuses the index.
+    tree.resolution_index()
     return tree
 
 

@@ -285,3 +285,71 @@ def expr_symbols(expr: Expr) -> set[str]:
 def make_evaluator(expr: Expr) -> Callable[[Env], Tristate]:
     """Return a callable evaluating *expr*; convenient for hot paths."""
     return expr.evaluate
+
+
+#: ``~value`` lookup table indexed by ``int(value)`` (``!n=y, !m=m, !y=n``).
+_NOT_TABLE = (Tristate.YES, Tristate.MODULE, Tristate.NO)
+
+_CONST_SYMBOLS = {
+    "y": Tristate.YES, "Y": Tristate.YES,
+    "m": Tristate.MODULE, "M": Tristate.MODULE,
+    "n": Tristate.NO, "N": Tristate.NO,
+}
+
+
+def is_const_true(expr: Expr) -> bool:
+    """True for the literal always-``y`` expression (no-dependency options)."""
+    return isinstance(expr, Symbol) and expr.name in ("y", "Y")
+
+
+def compile_expr(expr: Expr) -> Callable[[Env], Tristate]:
+    """Flatten *expr* into nested closures with pre-resolved constants.
+
+    The returned callable computes exactly ``expr.evaluate(env)`` but
+    without re-dispatching through the dataclass ``evaluate`` methods on
+    every call: literals are folded to constants at compile time, ``&&``
+    / ``||`` short-circuit on ``n`` / ``y``, and negation is a table
+    lookup.  Compile once per expression (the resolution index caches
+    one program per option), evaluate many times.
+    """
+    if isinstance(expr, Symbol):
+        constant = _CONST_SYMBOLS.get(expr.name)
+        if constant is not None:
+            return lambda env, _c=constant: _c
+        def _symbol(env: Env, _name: str = expr.name,
+                    _no: Tristate = Tristate.NO) -> Tristate:
+            return env.get(_name, _no)
+        return _symbol
+    if isinstance(expr, Not):
+        inner = compile_expr(expr.operand)
+        def _negate(env: Env, _inner=inner, _table=_NOT_TABLE) -> Tristate:
+            return _table[_inner(env)]
+        return _negate
+    if isinstance(expr, And):
+        lhs, rhs = compile_expr(expr.lhs), compile_expr(expr.rhs)
+        def _conj(env: Env, _l=lhs, _r=rhs,
+                  _no: Tristate = Tristate.NO) -> Tristate:
+            left = _l(env)
+            if left is _no:
+                return _no
+            right = _r(env)
+            return left if left <= right else right
+        return _conj
+    if isinstance(expr, Or):
+        lhs, rhs = compile_expr(expr.lhs), compile_expr(expr.rhs)
+        def _disj(env: Env, _l=lhs, _r=rhs,
+                  _yes: Tristate = Tristate.YES) -> Tristate:
+            left = _l(env)
+            if left is _yes:
+                return _yes
+            right = _r(env)
+            return left if left >= right else right
+        return _disj
+    if isinstance(expr, Compare):
+        lhs, rhs = compile_expr(expr.lhs), compile_expr(expr.rhs)
+        def _compare(env: Env, _l=lhs, _r=rhs, _neg=expr.negated,
+                     _yes: Tristate = Tristate.YES,
+                     _no: Tristate = Tristate.NO) -> Tristate:
+            return _yes if (_l(env) == _r(env)) is not _neg else _no
+        return _compare
+    raise TypeError(f"cannot compile expression node: {expr!r}")

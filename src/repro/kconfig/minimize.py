@@ -58,9 +58,11 @@ def minimize_config(config: ResolvedConfig) -> FrozenSet[str]:
 
     # Drop candidates one at a time, keeping the removal only if the
     # resolution still reaches the target set.  Deterministic order.
+    # Trial resolutions are throwaway one-offs: bypass the process-wide
+    # resolution cache rather than churn its LRU with them.
     for name in sorted(candidates_for_removal):
         trial = request - {name}
-        resolved = resolver.resolve_names(sorted(trial))
+        resolved = resolver.resolve_names(sorted(trial), use_cache=False)
         if resolved.enabled == target:
             request = trial
     return frozenset(request)

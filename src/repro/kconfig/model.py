@@ -99,6 +99,33 @@ class KconfigTree:
         self._by_directory: Dict[str, List[str]] = {}
         self._choices: Dict[str, "ChoiceGroup"] = {}
         self._choice_of_member: Dict[str, str] = {}
+        self._resolution_index = None
+
+    # -- resolution acceleration -------------------------------------------
+
+    def resolution_index(self):
+        """The cached :class:`~repro.kconfig.index.ResolutionIndex`.
+
+        Built lazily on first resolution and reused for the life of the
+        tree.  The tree is append-only (options/choices may be added but
+        never mutated in place), so a size check is sufficient to detect
+        a stale index and rebuild it.
+        """
+        from repro.kconfig.index import ResolutionIndex
+
+        index = self._resolution_index
+        if (
+            index is None
+            or index.option_count != len(self._options)
+            or index.choice_count != len(self._choices)
+        ):
+            index = ResolutionIndex(self)
+            self._resolution_index = index
+        return index
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the tree (options, semantics, choices)."""
+        return self.resolution_index().fingerprint
 
     # -- population ------------------------------------------------------
 

@@ -9,8 +9,10 @@ runs and exits nonzero when the current run regressed past a threshold.
 What gates (threshold ``t``, default 0.10; all comparisons are strict
 ``>``, so a run **exactly at** the threshold passes):
 
-- **cost counters** (``*.misses``, ``*.performed``, and
-  ``kconfig.resolutions``): fail when current > baseline * (1 + t).
+- **cost counters** (``*.misses``, ``*.performed``,
+  ``kconfig.resolutions``, and the resolver work counters
+  ``kconfig.resolve.visited_options*`` / ``kconfig.expr.evals*``): fail
+  when current > baseline * (1 + t).
   These are deterministic, so they gate across machines -- a jump means
   a cache stopped hitting or a hot path started re-doing work.
 - **timings** (manifest ``total_wall_ms`` and per-experiment
@@ -42,11 +44,24 @@ MANIFEST_NAME = "run_manifest.json"
 
 #: Counter name patterns whose *growth* is a cost regression.
 COST_COUNTER_SUFFIXES: Tuple[str, ...] = (".misses", ".performed")
-COST_COUNTER_NAMES: Tuple[str, ...] = ("kconfig.resolutions",)
+COST_COUNTER_NAMES: Tuple[str, ...] = ()
+#: Prefix-matched cost counters: the resolver work counters, both the
+#: bare process-wide names and the per-scenario variants bench-resolve
+#: emits (e.g. ``kconfig.resolve.visited_options.warm_delta``).
+COST_COUNTER_PREFIXES: Tuple[str, ...] = (
+    "kconfig.resolutions",
+    "kconfig.resolve.visited_options",
+    "kconfig.resolve.cache_misses",
+    "kconfig.expr.evals",
+)
 
 
 def is_cost_counter(name: str) -> bool:
-    return name.endswith(COST_COUNTER_SUFFIXES) or name in COST_COUNTER_NAMES
+    return (
+        name.endswith(COST_COUNTER_SUFFIXES)
+        or name in COST_COUNTER_NAMES
+        or name.startswith(COST_COUNTER_PREFIXES)
+    )
 
 
 @dataclass

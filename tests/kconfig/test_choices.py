@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.kconfig.expr import Tristate
 from repro.kconfig.export import export_kconfig, import_kconfig
 from repro.kconfig.model import (
     ChoiceGroup,
@@ -87,6 +88,35 @@ class TestChoiceModel:
 
 
 class TestChoiceResolution:
+    def test_tie_break_follows_request_insertion_order(self):
+        """With several requested members, the first *requested* wins.
+
+        Request mappings preserve insertion order, so the tie-break is
+        the caller's ordering, not the choice's member declaration order.
+        """
+        tree = _tree_with_choice()
+        first = Resolver(tree).resolve(
+            {"HZ_1000": Tristate.YES, "HZ_100": Tristate.YES}
+        )
+        assert "HZ_1000" in first
+        assert "HZ_100" not in first
+        assert first.demoted["HZ_100"] == "choice hz: HZ_1000 wins"
+
+        flipped = Resolver(tree).resolve(
+            {"HZ_100": Tristate.YES, "HZ_1000": Tristate.YES}
+        )
+        assert "HZ_100" in flipped
+        assert "HZ_1000" not in flipped
+        assert flipped.demoted["HZ_1000"] == "choice hz: HZ_100 wins"
+
+    def test_member_requested_off_cannot_win(self):
+        tree = _tree_with_choice()
+        config = Resolver(tree).resolve(
+            {"HZ_100": Tristate.NO, "HZ_1000": Tristate.YES}
+        )
+        assert "HZ_1000" in config
+        assert "HZ_100" not in config
+
     def test_default_applies_when_nothing_requested(self):
         config = Resolver(_tree_with_choice()).resolve_names([])
         assert "HZ_250" in config

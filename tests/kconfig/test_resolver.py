@@ -147,6 +147,58 @@ class TestDefaults:
         assert "B" in config
 
 
+class TestDemotionRecords:
+    """The ``demoted`` map must only name options that end up off."""
+
+    def test_reenabled_by_default_drops_stale_record(self):
+        """An option demoted early and re-enabled by its default later.
+
+        Tree-order construction: D is demoted in iteration 1 (X defaults
+        on), T (depends on D) is demoted next; a select chain then forces
+        D back on, and T's own default re-fires in a later iteration.
+        Selects pop their target's stale record, but default-driven
+        re-enables did not -- T used to end up enabled *and* in
+        ``demoted``.
+        """
+        tree = _tree(
+            _opt("D", depends="!X"),
+            _opt("T", depends="D", default="y"),
+            _opt("X", default="y"),
+            _opt("W", default="V"),
+            _opt("V", default="y"),
+            _opt("S", default="W", selects=["D"]),
+        )
+        for strategy in ("worklist", "sweep"):
+            config = Resolver(tree, strategy=strategy).resolve_names(["D"])
+            assert "T" in config, strategy
+            # Everything ends up enabled (D via S's select, T via its
+            # default), so no demotion record may survive.
+            assert config.demoted == {}, strategy
+            assert ("S", "D") in config.select_violations
+
+    def test_select_source_demoted_later_rerecords_target(self):
+        """A select's pop of ``demoted[target]`` must not stick once the
+        selecting source itself is demoted and the target's unmet
+        dependency demotes it again."""
+        tree = _tree(
+            _opt("A", depends="!X", selects=["B"]),
+            _opt("B", depends="C"),
+            _opt("C"),
+            _opt("X", default="y"),
+        )
+        for strategy in ("worklist", "sweep"):
+            config = Resolver(tree, strategy=strategy).resolve_names(["A"])
+            assert "A" not in config, strategy
+            assert "B" not in config, strategy
+            assert config.demoted.get("B") == "C", strategy
+
+    def test_demoted_names_only_disabled_options(self):
+        tree = _tree(_opt("A"), _opt("B", depends="A"))
+        config = Resolver(tree).resolve_names(["B"])
+        for name in config.demoted:
+            assert config.value(name) is N
+
+
 class TestResolvedConfig:
     def test_builtin_vs_modules(self):
         tree = _tree(_opt("A"), _opt("B", option_type=OptionType.TRISTATE))

@@ -12,6 +12,12 @@
 # timings disabled, so it holds on any machine.  Artifacts from the warm
 # run are left in $RUN_DIR for CI to archive (override with
 # CHECK_RUN_DIR).
+#
+# The resolver gate runs the differential suite (worklist engine vs the
+# full-sweep oracle), then bench-resolve --check (warm-start must beat 20
+# cold sweeps by >= 10x on visited options; cache hits must do zero
+# resolution work) and regresses the resulting counters against
+# benchmarks/baseline/BENCH_resolve.json.
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -27,6 +33,10 @@ test -s "$TMP_DIR/EXPERIMENTS.md"
 grep -q "Running the experiments" "$TMP_DIR/EXPERIMENTS.md"
 grep -q "Run manifest schema" "$TMP_DIR/EXPERIMENTS.md"
 
+echo "==> resolver differential suite (worklist vs sweep oracle)"
+(cd "$REPO_ROOT" && PYTHONPATH=src python -m pytest -q \
+    tests/kconfig/test_resolver_differential.py)
+
 echo "==> warm run-all + regression gate"
 RUN_DIR=${CHECK_RUN_DIR:-"$TMP_DIR/run"}
 cd "$REPO_ROOT"
@@ -38,5 +48,12 @@ test -s "$RUN_DIR/metrics.json"
 test -s "$RUN_DIR/run_manifest.json"
 PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline "$RUN_DIR" --no-timings
+
+echo "==> resolver microbenchmark + counter gate"
+PYTHONPATH=src python -m repro.cli bench-resolve --check \
+    --output-dir "$RUN_DIR"
+PYTHONPATH=src python -m repro.observe.regress \
+    benchmarks/baseline/BENCH_resolve.json "$RUN_DIR/BENCH_resolve.json" \
+    --no-timings
 
 echo "==> all checks passed"
