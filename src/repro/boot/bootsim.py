@@ -23,6 +23,7 @@ from repro.boot.phases import (
     RootfsKind,
     TSC_CALIBRATION_MS,
 )
+from repro.faults import fault_site
 from repro.kbuild.image import KernelImage
 from repro.observe import METRICS, TRACER, span
 
@@ -69,6 +70,11 @@ class BootSimulator:
         phases = report.phases_ms
         with span("boot.boot", category="boot",
                   system=report.system) as record:
+            # Fault site: a "hang" advances the simulated clock past any
+            # deadline and raises FaultHang (a guest that never reaches
+            # the boot-complete I/O port write); a "raise" is a crash.
+            with fault_site("boot.boot"):
+                pass
             phases[BootPhase.MONITOR_SETUP] = self.monitor_setup_ms
             phases[BootPhase.KERNEL_LOAD] = (
                 image.compressed_kb / LOAD_KB_PER_MS

@@ -11,7 +11,10 @@ Subcommands:
 - ``run-all``          -- run every experiment through the parallel harness
   (``--jobs N``), with result caching and a JSON run manifest plus
   ``trace.json``/``metrics.json`` under ``benchmarks/output/``; ``--cold``
-  forces a full re-run.
+  forces a full re-run.  Prints a failure summary and exits nonzero when
+  any experiment's final status is not ``ok``/``cache_hit``.
+- ``chaos``            -- run the suite under a seeded fault schedule and
+  assert the resilience invariants (see docs/RESILIENCE.md).
 - ``trace --run``      -- render the observability report of the last
   ``run-all``: top-N self-time spans and the per-experiment phase
   breakdown (see docs/OBSERVABILITY.md).
@@ -295,11 +298,12 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     summary = Table(
         title=f"harness run: {len(telemetry.experiments)} experiments, "
               f"jobs={telemetry.jobs}",
-        headers=["experiment", "result cache", "wall ms"],
+        headers=["experiment", "status", "result cache", "wall ms"],
     )
     for record in telemetry.experiments:
         summary.add_row(
-            record.name, "hit" if record.cache_hit else "miss",
+            record.name, record.status,
+            "hit" if record.cache_hit else "miss",
             record.wall_ms,
         )
     print(render_table(summary))
@@ -318,7 +322,38 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
               "(Chrome trace format; open in https://ui.perfetto.dev)")
     if run.metrics_path is not None:
         print(f"metrics      : {run.metrics_path}")
+    failed = telemetry.failed_experiments
+    if failed:
+        print()
+        print(f"FAILURES     : {len(failed)} of "
+              f"{len(telemetry.experiments)} experiments did not complete",
+              file=sys.stderr)
+        for record in failed:
+            print(f"  [{record.status}] {record.name} "
+                  f"(attempt {record.attempts}): {record.error}",
+                  file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.faults.chaos import run_chaos
+
+    names = args.only.split(",") if args.only else None
+    output_dir = (
+        pathlib.Path(args.output_dir) if args.output_dir is not None else None
+    )
+    report = run_chaos(
+        seed=args.seed,
+        names=names,
+        jobs=args.jobs,
+        output_dir=output_dir,
+        runs=args.runs,
+    )
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -372,6 +407,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="where outputs, the result cache and the run "
                           "manifest land (default: benchmarks/output/)")
     sub.set_defaults(func=_cmd_run_all)
+
+    sub = subparsers.add_parser(
+        "chaos",
+        help="run the suite under a seeded fault schedule twice and "
+             "assert the resilience invariants (definite statuses, "
+             "manifest always written, same seed => identical artifacts)",
+    )
+    sub.add_argument("--seed", type=int, default=1234, metavar="N",
+                     help="fault-schedule seed (default 1234)")
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="experiments run concurrently; byte-identity "
+                          "across sub-runs is checked only at --jobs 1")
+    sub.add_argument("--runs", type=int, default=2, metavar="N",
+                     help="identical sub-runs to compare (default 2)")
+    sub.add_argument("--only", default=None, metavar="ID[,ID...]",
+                     help="comma-separated experiment ids (default: all)")
+    sub.add_argument("--output-dir", default=None, metavar="DIR",
+                     help="chaos scratch dir "
+                          "(default: benchmarks/output/chaos/)")
+    sub.set_defaults(func=_cmd_chaos)
 
     sub = subparsers.add_parser(
         "trace",

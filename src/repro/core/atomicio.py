@@ -1,0 +1,42 @@
+"""Atomic file writes: temp file in the same directory, then ``os.replace``.
+
+Every durable artifact the harness produces (result-cache entries, the run
+manifest, rendered outputs, ``trace.json``/``metrics.json``) goes through
+:func:`atomic_write_text`: a reader can observe the old content or the new
+content, never a truncated intermediate -- a crash mid-write leaves the
+destination untouched and at worst a stray ``*.tmp`` sibling.  The
+fail-open loaders (e.g. the result cache) remain the second line of
+defense for files damaged by anything outside this process.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from typing import Union
+
+
+def atomic_write_text(
+    path: Union[str, pathlib.Path], text: str, encoding: str = "utf-8"
+) -> pathlib.Path:
+    """Write *text* to *path* atomically; returns *path*.
+
+    The temp file lives in the destination directory so ``os.replace`` is
+    a same-filesystem rename (atomic on POSIX and Windows).
+    """
+    path = pathlib.Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

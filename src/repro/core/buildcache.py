@@ -32,6 +32,11 @@ Invariants:
   entries created.
 - **Factory runs unlocked.** Builds are slow; concurrent misses on
   different keys must never serialize on the cache lock.
+- **No poisoned entries.** A factory that raises stores nothing and
+  counts nothing: the exception propagates before any entry or counter
+  is touched, so the next ``get_or_build`` on the same key retries the
+  build from scratch.  (The ``buildcache.factory`` fault site exercises
+  exactly this path; see ``docs/RESILIENCE.md``.)
 
 Cache effectiveness is published to the process metrics registry as
 ``buildcache.hits`` / ``buildcache.misses`` counters and the
@@ -45,6 +50,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Tuple
 
+from repro.faults import fault_site
 from repro.observe import METRICS, span
 
 
@@ -106,7 +112,8 @@ class KernelBuildCache:
                 METRICS.counter("buildcache.hits").inc()
                 return self._entries[key]
         with span("buildcache.build", category="buildcache", key=key):
-            artifact = factory()
+            with fault_site("buildcache.factory"):
+                artifact = factory()
         with self._lock:
             if key in self._entries:
                 # Lost the race: another thread stored first; count as a hit

@@ -1,0 +1,53 @@
+"""Deterministic fault injection + the chaos harness.
+
+The paper's §5 claim is graceful degradation -- Lupine keeps working when
+unikernel assumptions break.  This package is how the reproduction holds
+itself to the same standard: :mod:`repro.faults.plane` is a seeded,
+deterministic fault-injection plane wired into every layer that has a
+natural failure mode (build cache, result cache, kernel builder, monitor
+guest checks, the boot simulator, experiment bodies), and
+:mod:`repro.faults.chaos` is the ``repro-lupine chaos`` harness that runs
+the full experiment suite under a seeded fault schedule and asserts the
+resilience invariants (a complete manifest always lands, same seed =>
+byte-identical run, zero faults => byte-identical to a fault-free run).
+
+Usage from library code::
+
+    from repro.faults import fault_site
+
+    with fault_site("buildcache.factory"):
+        artifact = factory()
+
+With no plane installed the site is a strict no-op.  See
+``docs/RESILIENCE.md`` for the site catalogue and semantics.
+"""
+
+from repro.faults.plane import (
+    FaultHang,
+    FaultInjected,
+    FaultPlane,
+    FaultSpec,
+    activated,
+    active_plane,
+    corrupt_text,
+    current_scope,
+    deactivate,
+    experiment_scope,
+    fault_site,
+    install,
+)
+
+__all__ = [
+    "FaultHang",
+    "FaultInjected",
+    "FaultPlane",
+    "FaultSpec",
+    "activated",
+    "active_plane",
+    "corrupt_text",
+    "current_scope",
+    "deactivate",
+    "experiment_scope",
+    "fault_site",
+    "install",
+]

@@ -25,6 +25,12 @@ Invariants:
   dependencies still invalidate the cache.
 - **Memoization is per-process.** ``_source_cache`` / ``_closure_cache``
   assume sources do not change within one process lifetime.
+- **Source errors are counted, not swallowed.** A module whose source
+  cannot be read (unimportable, unreadable file) contributes the empty
+  string to the digest, but the failure is recorded: the
+  ``harness.fingerprint_errors`` counter increments once per failing
+  module and every affected experiment's ``registry.fingerprint`` span
+  carries a ``source_errors`` attribute naming module and error.
 """
 
 from __future__ import annotations
@@ -47,16 +53,51 @@ _IMPORT_RE = re.compile(
 
 _source_cache: Dict[str, str] = {}
 _closure_cache: Dict[str, List[str]] = {}
+#: module name -> "ErrorType: message" for every source-read failure seen
+#: this process (memoized alongside _source_cache).
+_source_errors: Dict[str, str] = {}
+
+
+def reset_fingerprint_caches() -> None:
+    """Drop the per-process source/closure/error memos (test isolation)."""
+    _source_cache.clear()
+    _closure_cache.clear()
+    _source_errors.clear()
+
+
+def _note_source_error(module_name: str, error: BaseException) -> None:
+    from repro.observe import METRICS
+
+    _source_errors[module_name] = f"{type(error).__name__}: {error}"
+    METRICS.counter("harness.fingerprint_errors").inc()
 
 
 def _module_source(module_name: str) -> str:
-    """Source text of *module_name* ('' when it has no readable file)."""
+    """Source text of *module_name* ('' when it has no readable file).
+
+    Failures are narrow and accounted: only an unimportable module
+    (``ImportError``) or an unreadable source file (``OSError``) yields
+    '', and each increments ``harness.fingerprint_errors`` once per
+    process with the module name kept in ``_source_errors``.  A module
+    legitimately without a source file (builtin, namespace package)
+    hashes as '' without being counted as an error.
+    """
     if module_name not in _source_cache:
         try:
             module = importlib.import_module(module_name)
-            with open(module.__file__, "r", encoding="utf-8") as handle:
+        except ImportError as error:
+            _note_source_error(module_name, error)
+            _source_cache[module_name] = ""
+            return ""
+        filename = getattr(module, "__file__", None)
+        if filename is None:
+            _source_cache[module_name] = ""
+            return ""
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
                 _source_cache[module_name] = handle.read()
-        except (ImportError, OSError, AttributeError, TypeError):
+        except OSError as error:
+            _note_source_error(module_name, error)
             _source_cache[module_name] = ""
     return _source_cache[module_name]
 
@@ -97,6 +138,12 @@ def module_fingerprint(module_name: str) -> str:
         digest.update(f"version={__version__}\n".encode("utf-8"))
         closure = _dependency_closure(module_name)
         record.set_attr("closure_size", len(closure))
+        errors = {
+            name: _source_errors[name]
+            for name in closure if name in _source_errors
+        }
+        if errors:
+            record.set_attr("source_errors", errors)
         for dependency in closure:
             digest.update(dependency.encode("utf-8"))
             digest.update(b"\x00")

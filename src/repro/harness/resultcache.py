@@ -16,7 +16,12 @@ Invariants:
   generations.
 - **Fail-open loads**: a missing, corrupt, truncated or
   wrong-fingerprint file is a *miss*, never an error -- the experiment
-  simply re-runs and overwrites it.
+  simply re-runs and overwrites it.  (The ``resultcache.load`` corrupt
+  fault site exercises this path deterministically.)
+- **Atomic stores**: entries are written to a temp file in the cache
+  directory and ``os.replace``d into place, so a crash mid-store can
+  never leave truncated JSON behind; the fail-open load remains the
+  second line of defense against damage from outside the process.
 - **Stored payloads are codec-encoded**: values in ``result`` are already
   JSON-safe (:mod:`repro.harness.codec`); this module never imports or
   constructs result classes itself.
@@ -28,6 +33,9 @@ import json
 import pathlib
 from dataclasses import dataclass
 from typing import Any, Optional
+
+from repro.core.atomicio import atomic_write_text
+from repro.faults import corrupt_text, fault_site
 
 
 @dataclass(frozen=True)
@@ -54,8 +62,12 @@ class ResultCache:
         """The cached result for *name*, or None on miss/stale/corrupt."""
         path = self._path(name)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            payload = json.loads(corrupt_text("resultcache.load", text))
+        except ValueError:
             return None
         if (
             not isinstance(payload, dict)
@@ -85,10 +97,10 @@ class ResultCache:
         if entry.artifact_dat is not None:
             payload["artifact_dat"] = entry.artifact_dat
         path = self._path(entry.name)
-        path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        with fault_site("resultcache.store"):
+            atomic_write_text(
+                path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
         return path
 
     def clear(self) -> int:

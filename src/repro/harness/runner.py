@@ -1,4 +1,4 @@
-"""The experiment runner: concurrent execution, caching, telemetry.
+"""The experiment runner: concurrent execution, caching, failure isolation.
 
 ``run_experiments`` executes a set of registered experiments:
 
@@ -11,12 +11,18 @@
 - finished results land in an on-disk :class:`ResultCache` keyed on each
   experiment's inputs fingerprint -- a warm re-run with unchanged inputs
   executes nothing and reproduces byte-identical artifacts;
-- every run emits a JSON run manifest (``run_manifest.json``) with
-  per-experiment wall time, result-cache hits/misses and kernel builds
-  performed vs. reused, plus the observability artifacts ``trace.json``
-  (Chrome trace-event spans for every phase of the run; see
-  ``docs/OBSERVABILITY.md``) and ``metrics.json`` (the process metrics
-  snapshot).
+- an experiment that raises is *contained*: its exception becomes a
+  structured outcome (``status="failed"``, the error text in the
+  manifest), transient faults are retried under a bounded
+  :class:`RetryPolicy` with deterministic backoff on the simulated clock,
+  an injected hang or a blown per-experiment deadline is
+  ``status="timed_out"`` -- and every other experiment's result still
+  lands;
+- every run emits a JSON run manifest (``run_manifest.json``,
+  schema_version 2: per-experiment ``status``/``attempts``/``error``)
+  plus the observability artifacts ``trace.json`` and ``metrics.json``
+  -- *always*, even when experiments fail: a partial run lands a
+  complete manifest.
 
 Invariants:
 
@@ -32,27 +38,51 @@ Invariants:
 - **Span containment.** Every span the runner emits for one experiment is
   a descendant of that experiment's ``experiment:<name>`` span; the trace
   exporter's per-experiment breakdown depends on this.
+- **Failure isolation.** No exception raised inside one experiment's
+  attempt loop escapes ``_execute_one``: selection errors (unknown
+  names) still raise, but once execution starts, every experiment ends
+  with a definite status and the manifest/trace/metrics always land.
+- **Fault-free transparency.** With no fault plane installed and no
+  failures, the emitted span structure, metrics and outputs are
+  identical to a runner without the fault machinery: retry/status span
+  attributes appear only on retried or failed experiments.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import pathlib
-import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
+from repro.core.atomicio import atomic_write_text
 from repro.core.buildcache import BUILD_CACHE
+from repro.faults import FaultHang
 from repro.harness.codec import decode, encode
 from repro.harness.registry import Experiment, all_experiments
 from repro.harness.resultcache import CachedResult, ResultCache
-from repro.metrics.telemetry import ExperimentTelemetry, RunTelemetry
+from repro.metrics.telemetry import (
+    ExperimentTelemetry,
+    OK_STATUSES,
+    RunTelemetry,
+)
 from repro.observe import METRICS, TRACER, span
 from repro.observe.export import write_run_artifacts
 from repro.observe.metrics import DEFAULT_MS_BUCKETS
 
 #: Manifest filename inside the output directory.
 MANIFEST_NAME = "run_manifest.json"
+
+
+def _now_ms() -> float:
+    """Wall time off the tracer's host clock (perf_counter by default).
+
+    Going through ``TRACER.clock`` instead of ``time.perf_counter`` lets
+    the chaos harness install a deterministic :class:`TickClock` and get
+    byte-identical manifests/metrics out of two identical runs.
+    """
+    return TRACER.clock.now_us() / 1000.0
 
 
 def default_output_dir() -> pathlib.Path:
@@ -71,6 +101,36 @@ def default_cache_dir(output_dir: Optional[pathlib.Path] = None) -> pathlib.Path
     return pathlib.Path(base) / "result-cache"
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner handles a failing experiment attempt.
+
+    Only errors carrying a truthy ``transient`` attribute (injected
+    transient faults -- see :mod:`repro.faults`) are retried, up to
+    ``max_attempts`` total attempts with a deterministic linear backoff
+    of ``backoff_ms * attempt`` advanced on the *simulated* clock (no
+    host sleeping; chaos runs stay fast and reproducible).  Any other
+    exception is persistent and fails on the first attempt.
+
+    ``deadline_ms`` bounds one experiment: when an attempt ends (by
+    failure) with more than ``deadline_ms`` elapsed on either clock
+    since the experiment started, the experiment is marked
+    ``timed_out`` and not retried.  An injected :class:`FaultHang`
+    (which advances the simulated clock past any useful deadline) is
+    classified ``timed_out`` directly.  A genuinely hung thread cannot
+    be preempted from Python -- the deadline is judged at attempt
+    boundaries, which the simulators always reach.
+    """
+
+    max_attempts: int = 3
+    backoff_ms: float = 50.0
+    deadline_ms: Optional[float] = None
+
+
+#: The default policy: bounded retries for transient faults, no deadline.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
 @dataclass
 class HarnessRun:
     """Everything one ``run_experiments`` call produced."""
@@ -83,85 +143,160 @@ class HarnessRun:
     trace_path: Optional[pathlib.Path] = None
     metrics_path: Optional[pathlib.Path] = None
 
+    @property
+    def failures(self) -> Dict[str, str]:
+        """name -> error text for experiments that did not end ok."""
+        return {
+            entry.name: entry.error or entry.status
+            for entry in self.telemetry.experiments if not entry.ok
+        }
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
 
 @dataclass(frozen=True)
 class _Outcome:
     telemetry: ExperimentTelemetry
-    result: Any
-    artifact_text: str
-    artifact_dat: Optional[str]
+    result: Any = None
+    artifact_text: Optional[str] = None
+    artifact_dat: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.telemetry.ok
+
+
+def _attempt_one(
+    experiment: Experiment,
+    cache: Optional[ResultCache],
+    force: bool,
+    record: Any,
+) -> Tuple[bool, str, Any, str, Optional[str]]:
+    """One attempt: ``(cache_hit, fingerprint, result, text, dat)``."""
+    with span("fingerprint", category="harness"):
+        fingerprint = experiment.fingerprint()
+    if cache is not None and not force:
+        with span("cache-lookup", category="harness"):
+            entry = cache.load(experiment.name, fingerprint)
+        if entry is not None:
+            METRICS.counter("harness.result_cache.hits").inc()
+            record.set_attr("cache_hit", True)
+            return (
+                True, fingerprint, decode(entry.result),
+                entry.artifact_text, entry.artifact_dat,
+            )
+    METRICS.counter("harness.result_cache.misses").inc()
+    record.set_attr("cache_hit", False)
+    with span("execute", category="harness"):
+        with faults.fault_site("experiment.run"):
+            result = experiment.run()
+    with span("render-artifact", category="harness"):
+        artifact = experiment.artifact()
+        dat_text: Optional[str] = None
+        if artifact.figure is not None:
+            from repro.metrics.dataexport import figure_to_dat
+
+            dat_text = figure_to_dat(artifact.figure)
+    with span("encode", category="harness"):
+        encoded = encode(result)
+    if cache is not None:
+        with span("cache-store", category="harness"):
+            cache.store(
+                CachedResult(
+                    name=experiment.name,
+                    fingerprint=fingerprint,
+                    result=encoded,
+                    artifact_text=artifact.text,
+                    artifact_dat=dat_text,
+                )
+            )
+    # Normalize through the codec so cold and warm runs hand consumers
+    # byte-for-byte identical structures.
+    return False, fingerprint, decode(encoded), artifact.text, dat_text
 
 
 def _execute_one(
-    experiment: Experiment, cache: Optional[ResultCache], force: bool
+    experiment: Experiment,
+    cache: Optional[ResultCache],
+    force: bool,
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
 ) -> _Outcome:
-    started = time.perf_counter()
+    """Run one experiment under the retry policy; never raises.
+
+    Every path ends with a definite status -- ``ok``/``cache_hit`` with a
+    result, or ``failed``/``timed_out`` with the error captured in the
+    telemetry entry.
+    """
+    started = _now_ms()
+    fingerprint = ""
+    cache_hit = False
+    result: Any = None
+    artifact_text: Optional[str] = None
+    artifact_dat: Optional[str] = None
+    status = "ok"
+    error_text: Optional[str] = None
+    attempts = 0
     with span(f"experiment:{experiment.name}", category="harness",
               experiment=experiment.name) as record:
-        with span("fingerprint", category="harness"):
-            fingerprint = experiment.fingerprint()
-        if cache is not None and not force:
-            with span("cache-lookup", category="harness"):
-                entry = cache.load(experiment.name, fingerprint)
-            if entry is not None:
-                METRICS.counter("harness.result_cache.hits").inc()
-                record.set_attr("cache_hit", True)
-                wall_ms = (time.perf_counter() - started) * 1000.0
-                METRICS.histogram(
-                    "harness.experiment.wall_ms", DEFAULT_MS_BUCKETS
-                ).observe(wall_ms)
-                return _Outcome(
-                    telemetry=ExperimentTelemetry(
-                        name=experiment.name,
-                        fingerprint=fingerprint,
-                        cache_hit=True,
-                        wall_ms=wall_ms,
-                    ),
-                    result=decode(entry.result),
-                    artifact_text=entry.artifact_text,
-                    artifact_dat=entry.artifact_dat,
-                )
-        METRICS.counter("harness.result_cache.misses").inc()
-        record.set_attr("cache_hit", False)
-        with span("execute", category="harness"):
-            result = experiment.run()
-        with span("render-artifact", category="harness"):
-            artifact = experiment.artifact()
-            dat_text: Optional[str] = None
-            if artifact.figure is not None:
-                from repro.metrics.dataexport import figure_to_dat
-
-                dat_text = figure_to_dat(artifact.figure)
-        with span("encode", category="harness"):
-            encoded = encode(result)
-        if cache is not None:
-            with span("cache-store", category="harness"):
-                cache.store(
-                    CachedResult(
-                        name=experiment.name,
-                        fingerprint=fingerprint,
-                        result=encoded,
-                        artifact_text=artifact.text,
-                        artifact_dat=dat_text,
+        with faults.experiment_scope(experiment.name):
+            sim_started = TRACER.sim.now_ms
+            while True:
+                attempts += 1
+                try:
+                    (cache_hit, fingerprint, result, artifact_text,
+                     artifact_dat) = _attempt_one(
+                        experiment, cache, force, record)
+                    status = "cache_hit" if cache_hit else "ok"
+                    error_text = None
+                    break
+                except Exception as error:  # noqa: BLE001 -- failure isolation
+                    error_text = f"{type(error).__name__}: {error}"
+                    over_deadline = policy.deadline_ms is not None and (
+                        (TRACER.sim.now_ms - sim_started) > policy.deadline_ms
+                        or (_now_ms() - started) > policy.deadline_ms
                     )
-                )
-        wall_ms = (time.perf_counter() - started) * 1000.0
-        METRICS.histogram(
-            "harness.experiment.wall_ms", DEFAULT_MS_BUCKETS
-        ).observe(wall_ms)
-        return _Outcome(
-            telemetry=ExperimentTelemetry(
-                name=experiment.name,
-                fingerprint=fingerprint,
-                cache_hit=False,
-                wall_ms=wall_ms,
-            ),
-            # Normalize through the codec so cold and warm runs hand consumers
-            # byte-for-byte identical structures.
-            result=decode(encoded),
-            artifact_text=artifact.text,
-            artifact_dat=dat_text,
-        )
+                    if isinstance(error, FaultHang) or over_deadline:
+                        status = "timed_out"
+                        METRICS.counter("harness.timeouts").inc()
+                        break
+                    transient = bool(getattr(error, "transient", False))
+                    if transient and attempts < policy.max_attempts:
+                        backoff_ms = policy.backoff_ms * attempts
+                        with span("harness.retry", category="harness",
+                                  attempt=attempts, backoff_ms=backoff_ms):
+                            TRACER.sim.advance(backoff_ms)
+                        METRICS.counter("harness.retries").inc()
+                        continue
+                    status = "failed"
+                    METRICS.counter("harness.failures").inc()
+                    break
+        # Keep fault-free spans byte-identical to the pre-fault-plane
+        # runner: status/attempt attributes only on abnormal outcomes.
+        if attempts > 1:
+            record.set_attr("attempts", attempts)
+        if status not in OK_STATUSES:
+            record.set_attr("status", status)
+            record.set_attr("error", error_text)
+    wall_ms = _now_ms() - started
+    METRICS.histogram(
+        "harness.experiment.wall_ms", DEFAULT_MS_BUCKETS
+    ).observe(wall_ms)
+    return _Outcome(
+        telemetry=ExperimentTelemetry(
+            name=experiment.name,
+            fingerprint=fingerprint,
+            cache_hit=cache_hit,
+            wall_ms=wall_ms,
+            status=status,
+            attempts=attempts,
+            error=error_text,
+        ),
+        result=result,
+        artifact_text=artifact_text,
+        artifact_dat=artifact_dat,
+    )
 
 
 def run_experiments(
@@ -173,6 +308,7 @@ def run_experiments(
     force: bool = False,
     write_outputs: bool = True,
     use_result_cache: bool = True,
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
 ) -> HarnessRun:
     """Run experiments through the harness (see module docstring).
 
@@ -180,7 +316,9 @@ def run_experiments(
     order); ``experiments`` bypasses the registry entirely (tests,
     synthetic experiments).  ``force`` ignores cached results but still
     refreshes the cache; ``use_result_cache=False`` disables the result
-    cache in both directions.
+    cache in both directions.  ``retry_policy`` bounds per-experiment
+    attempts/deadline; failures never abort the run -- inspect
+    ``HarnessRun.failures`` / the manifest ``status`` fields.
     """
     if experiments is None:
         registry = all_experiments()
@@ -208,12 +346,14 @@ def run_experiments(
 
     jobs = max(1, int(jobs))
     METRICS.gauge("harness.jobs").set(jobs)
-    # Pre-register the cost counters so a fully-warm run reports them as
-    # explicit zeros rather than omitting them: the regression gate
-    # compares baseline-side counters, and "0 misses" is the very claim a
-    # warm-run baseline exists to enforce.
+    # Pre-register the cost and resilience counters so a clean run reports
+    # them as explicit zeros rather than omitting them: the regression
+    # gate compares baseline-side counters, and "0 misses" / "0 failures"
+    # is the very claim a baseline exists to enforce.
     for counter_name in (
         "harness.result_cache.hits", "harness.result_cache.misses",
+        "harness.retries", "harness.failures", "harness.timeouts",
+        "harness.fingerprint_errors", "faults.injected",
         "buildcache.hits", "buildcache.misses",
         "kbuild.builds", "kconfig.resolutions",
         "kconfig.resolve.cache_hits", "kconfig.resolve.cache_misses",
@@ -222,26 +362,30 @@ def run_experiments(
         METRICS.counter(counter_name)
     build_stats_before = BUILD_CACHE.stats()
     trace_mark = TRACER.mark()
-    run_started = time.perf_counter()
+    run_started = _now_ms()
 
     with span("harness.run", category="harness",
               jobs=jobs, experiments=len(selected)):
         if jobs == 1:
-            outcomes = [_execute_one(e, cache, force) for e in selected]
+            outcomes = [
+                _execute_one(e, cache, force, retry_policy) for e in selected
+            ]
         else:
             with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
                 futures = [
-                    pool.submit(_execute_one, e, cache, force)
+                    pool.submit(_execute_one, e, cache, force, retry_policy)
                     for e in selected
                 ]
                 # Futures are collected in submission (registry) order: the
                 # merge is deterministic no matter which finishes first.
+                # _execute_one never raises, so one failing experiment
+                # cannot discard the others' in-flight results.
                 outcomes = [future.result() for future in futures]
 
     build_stats_after = BUILD_CACHE.stats()
     telemetry = RunTelemetry(
         jobs=jobs,
-        total_wall_ms=(time.perf_counter() - run_started) * 1000.0,
+        total_wall_ms=_now_ms() - run_started,
         experiments=[outcome.telemetry for outcome in outcomes],
         kernel_builds_performed=(
             build_stats_after.misses - build_stats_before.misses
@@ -254,21 +398,24 @@ def run_experiments(
 
     run = HarnessRun(telemetry=telemetry)
     for experiment, outcome in zip(selected, outcomes):
+        if not outcome.ok:
+            continue
         run.results[experiment.name] = outcome.result
-        run.artifacts[experiment.name] = outcome.artifact_text
+        run.artifacts[experiment.name] = outcome.artifact_text or ""
         if write_outputs:
             output_dir.mkdir(parents=True, exist_ok=True)
             path = output_dir / f"{experiment.output_stem}.txt"
-            path.write_text(outcome.artifact_text + "\n", encoding="utf-8")
+            atomic_write_text(path, (outcome.artifact_text or "") + "\n")
             run.output_paths[experiment.name] = path
             if outcome.artifact_dat is not None:
-                (output_dir / f"{experiment.output_stem}.dat").write_text(
-                    outcome.artifact_dat, encoding="utf-8"
+                atomic_write_text(
+                    output_dir / f"{experiment.output_stem}.dat",
+                    outcome.artifact_dat,
                 )
     if write_outputs:
         output_dir.mkdir(parents=True, exist_ok=True)
         manifest_path = output_dir / MANIFEST_NAME
-        manifest_path.write_text(telemetry.to_json(), encoding="utf-8")
+        atomic_write_text(manifest_path, telemetry.to_json())
         run.manifest_path = manifest_path
         artifact_paths = write_run_artifacts(
             output_dir, TRACER.records_since(trace_mark), METRICS

@@ -17,6 +17,7 @@ from repro.kbuild.image import (
     DEFAULT_COMPRESSION,
     KernelImage,
 )
+from repro.faults import fault_site
 from repro.kbuild.optimizer import OptLevel, Toolchain
 from repro.kconfig.resolver import ResolvedConfig
 from repro.observe import METRICS, span
@@ -60,7 +61,12 @@ class KernelBuilder:
         with span("kbuild.build", category="kbuild",
                   config=name or config.name or "kernel",
                   options=len(config.enabled), kml=kml):
-            image = self._build(config, name=name, kml=kml, patches=patches)
+            # Fault site: an injected transient failure models a flaky
+            # toolchain (OOM-killed compiler, racy dependency) that a
+            # retry legitimately cures.
+            with fault_site("kbuild.build"):
+                image = self._build(config, name=name, kml=kml,
+                                    patches=patches)
         METRICS.counter("kbuild.builds").inc()
         METRICS.histogram(
             "kbuild.image.compressed_kb", DEFAULT_KB_BUCKETS

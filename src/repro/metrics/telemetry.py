@@ -1,30 +1,48 @@
 """Structured run telemetry for the experiment harness.
 
 Every harness run produces a :class:`RunTelemetry`: per-experiment wall
-time and result-cache outcome, plus run-level kernel-build accounting
-(builds performed vs. reused out of the shared
-:class:`~repro.core.buildcache.KernelBuildCache`).  Serialized as a JSON
-run manifest under ``benchmarks/output/`` so runs are comparable across
-machines and commits.  The manifest schema is documented in
-EXPERIMENTS.md ("Run manifest schema") and consumed by the regression
-gate (:mod:`repro.observe.regress`).
+time, result-cache outcome and final *status* (``ok`` / ``cache_hit`` /
+``failed`` / ``timed_out``, with attempt count and captured error), plus
+run-level kernel-build accounting (builds performed vs. reused out of the
+shared :class:`~repro.core.buildcache.KernelBuildCache`).  Serialized as
+a JSON run manifest (schema_version 2) under ``benchmarks/output/`` so
+runs are comparable across machines and commits -- and so a *partial*
+run (experiments failed or timed out) still lands a complete manifest.
+The manifest schema is documented in EXPERIMENTS.md ("Run manifest
+schema") and consumed by the regression gate
+(:mod:`repro.observe.regress`) and the chaos gate
+(:mod:`repro.faults.chaos`).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
+
+#: Manifest format version.  2 added per-experiment ``status`` /
+#: ``attempts`` / ``error`` and the top-level ``failures`` count.
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Statuses that mean the experiment produced a result this run.
+OK_STATUSES = ("ok", "cache_hit")
 
 
 @dataclass
 class ExperimentTelemetry:
-    """What one experiment cost in this run."""
+    """What one experiment cost in this run -- and how it ended."""
 
     name: str
     fingerprint: str
     cache_hit: bool
     wall_ms: float
+    status: str = "ok"            # "ok" | "cache_hit" | "failed" | "timed_out"
+    attempts: int = 1
+    error: Optional[str] = None   # "ErrorType: message" for failed/timed_out
+
+    @property
+    def ok(self) -> bool:
+        return self.status in OK_STATUSES
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -55,12 +73,18 @@ class RunTelemetry:
             return 0.0
         return self.result_cache_hits / len(self.experiments)
 
+    @property
+    def failed_experiments(self) -> List[ExperimentTelemetry]:
+        """Experiments whose final status is not ok/cache_hit."""
+        return [e for e in self.experiments if not e.ok]
+
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "schema_version": 1,
+            "schema_version": MANIFEST_SCHEMA_VERSION,
             "jobs": self.jobs,
             "total_wall_ms": self.total_wall_ms,
             "experiments": [e.to_dict() for e in self.experiments],
+            "failures": len(self.failed_experiments),
             "result_cache": {
                 "hits": self.result_cache_hits,
                 "misses": self.result_cache_misses,

@@ -22,6 +22,7 @@ import json
 import pathlib
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.atomicio import atomic_write_text
 from repro.observe.metrics import MetricsRegistry
 from repro.observe.tracer import SpanRecord
 
@@ -80,14 +81,14 @@ def write_run_artifacts(
     output_dir = pathlib.Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     trace_path = output_dir / TRACE_NAME
-    trace_path.write_text(
+    atomic_write_text(
+        trace_path,
         json.dumps(chrome_trace(records), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
     )
     metrics_path = output_dir / METRICS_NAME
-    metrics_path.write_text(
+    atomic_write_text(
+        metrics_path,
         json.dumps(registry.to_dict(), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
     )
     return {"trace": trace_path, "metrics": metrics_path}
 

@@ -49,18 +49,22 @@ class HostClock:
 class TickClock:
     """A deterministic clock: advances a fixed step per reading.
 
-    Used by tests (and available to any caller wanting bit-identical
-    traces): with a ``TickClock`` two identical runs produce identical
-    timestamps, not just identical span trees.
+    Used by tests and the chaos harness (and available to any caller
+    wanting bit-identical traces): with a ``TickClock`` two identical
+    runs produce identical timestamps, not just identical span trees.
+    Thread-safe so it can stand in for the host clock under a concurrent
+    harness (readings are then interleaving-dependent but never torn).
     """
 
     def __init__(self, step_us: float = 1.0) -> None:
         self.step_us = step_us
+        self._lock = threading.Lock()
         self._now = 0.0
 
     def now_us(self) -> float:
-        self._now += self.step_us
-        return self._now
+        with self._lock:
+            self._now += self.step_us
+            return self._now
 
 
 class SimClock:

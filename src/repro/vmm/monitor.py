@@ -70,11 +70,16 @@ class Monitor:
         monitor's block device or console -- the simulated analogue of a
         hang at boot.
         """
+        from repro.faults import fault_site
         from repro.observe import METRICS, span
 
         with span("vmm.check_guest", category="vmm",
                   monitor=self.name, image=image.name):
             METRICS.counter("vmm.guest_checks").inc()
+            # Fault site: an injected MonitorError models a guest that
+            # cannot drive the monitor's devices (boot crash).
+            with fault_site("vmm.check_guest"):
+                pass
             if not self._has_driver(image, DeviceKind.VIRTIO_MMIO_BLK) and not (
                 self._has_driver(image, DeviceKind.EMULATED_IDE)
             ):

@@ -122,6 +122,51 @@ class TestRunAll:
         output = capsys.readouterr().out
         assert "trace" in output and "metrics" in output
 
+    def test_run_all_shows_status_column(self, capsys, tmp_path):
+        assert main(
+            ["run-all", "--only", "fig5", "--output-dir", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "status" in output and "ok" in output
+
+    def test_run_all_failure_summary_and_nonzero_exit(self, capsys,
+                                                      tmp_path):
+        from repro import faults
+        from repro.faults import FaultPlane
+
+        plane = FaultPlane(seed=0)
+        plane.one_shot("experiment.run", transient=False, scope="fig5")
+        try:
+            with faults.activated(plane):
+                code = main(
+                    ["run-all", "--only", "fig5,table3", "--cold",
+                     "--output-dir", str(tmp_path)]
+                )
+        finally:
+            faults.deactivate()
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILURES" in captured.err
+        assert "[failed] fig5" in captured.err
+        # The healthy experiment and the manifest still landed.
+        assert (tmp_path / "table3.txt").exists()
+        assert (tmp_path / "run_manifest.json").exists()
+
+
+class TestChaosCli:
+    def test_chaos_subset_invariants_hold(self, capsys, tmp_path):
+        assert main(
+            ["chaos", "--seed", "5", "--only", "fig4,fig5,table3",
+             "--output-dir", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "all hold" in output
+        assert "VIOLATION" not in output
+        for sub in ("run-a", "run-b"):
+            assert (tmp_path / sub / "run_manifest.json").exists()
+            assert (tmp_path / sub / "trace.json").exists()
+            assert (tmp_path / sub / "metrics.json").exists()
+
 
 class TestObservabilityCli:
     def test_trace_run_renders_report(self, capsys, tmp_path):

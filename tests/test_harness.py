@@ -82,6 +82,44 @@ class TestBuildCache:
         assert after.misses == before.misses  # no new build
         assert after.hits == before.hits + 1
 
+    def test_factory_raise_leaves_no_poisoned_entry(self):
+        cache = KernelBuildCache()
+
+        def _broken():
+            raise RuntimeError("toolchain flake")
+
+        with pytest.raises(RuntimeError, match="toolchain flake"):
+            cache.get_or_build("k", _broken)
+        # Nothing stored, nothing counted: the failed build is invisible.
+        assert "k" not in cache
+        stats = cache.stats()
+        assert (stats.misses, stats.hits, stats.entries) == (0, 0, 0)
+        # The next caller retries the factory and gets a clean build.
+        assert cache.get_or_build("k", lambda: "image") == "image"
+        stats = cache.stats()
+        assert (stats.misses, stats.hits, stats.entries) == (1, 0, 1)
+
+    def test_injected_factory_fault_propagates_before_store(self):
+        from repro import faults
+        from repro.faults import FaultInjected, FaultPlane
+
+        cache = KernelBuildCache()
+        plane = FaultPlane(seed=0)
+        plane.one_shot("buildcache.factory")
+        ran = []
+        try:
+            with faults.activated(plane):
+                with pytest.raises(FaultInjected):
+                    cache.get_or_build("k", lambda: ran.append(1) or "image")
+        finally:
+            faults.deactivate()
+        # The fault fired before the factory body ran; miss accounting
+        # stays consistent with entries created.
+        assert ran == []
+        assert cache.stats().misses == 0
+        assert cache.get_or_build("k", lambda: "image") == "image"
+        assert cache.stats().misses == 1
+
 
 class TestRegistry:
     def test_discovers_every_experiment_module(self):
@@ -114,6 +152,57 @@ class TestRegistry:
         fig5 = get_experiment("fig5").artifact()
         assert "Figure 5" in fig5.text
         assert fig5.figure is not None
+
+    def test_unreadable_module_counted_not_swallowed(self):
+        from repro.harness.registry import (
+            _source_errors,
+            module_fingerprint,
+            reset_fingerprint_caches,
+        )
+        from repro.observe import METRICS
+
+        reset_fingerprint_caches()
+        try:
+            before = METRICS.counter("harness.fingerprint_errors").value
+            # The module name parses as a repro import but cannot be
+            # imported: hashed as '' and counted, never silently dropped.
+            fingerprint = module_fingerprint("repro.does_not_exist_zz")
+            assert fingerprint
+            assert (
+                METRICS.counter("harness.fingerprint_errors").value
+                == before + 1
+            )
+            assert "repro.does_not_exist_zz" in _source_errors
+            assert _source_errors["repro.does_not_exist_zz"].startswith(
+                "ModuleNotFoundError"
+            )
+            # Memoized: fingerprinting again does not double-count.
+            module_fingerprint("repro.does_not_exist_zz")
+            assert (
+                METRICS.counter("harness.fingerprint_errors").value
+                == before + 1
+            )
+        finally:
+            reset_fingerprint_caches()
+
+    def test_builtin_module_is_not_an_error(self):
+        from repro.harness.registry import (
+            _module_source,
+            _source_errors,
+            reset_fingerprint_caches,
+        )
+        from repro.observe import METRICS
+
+        reset_fingerprint_caches()
+        try:
+            before = METRICS.counter("harness.fingerprint_errors").value
+            assert _module_source("sys") == ""  # no __file__: legitimate
+            assert METRICS.counter(
+                "harness.fingerprint_errors"
+            ).value == before
+            assert "sys" not in _source_errors
+        finally:
+            reset_fingerprint_caches()
 
 
 class TestCodec:

@@ -55,3 +55,50 @@ class TestGuestCompatibility:
     def test_qemu_accepts_ide_guests(self, microvm_build):
         # microVM config keeps ATA (classified hw, still in the 833).
         qemu().check_linux_guest(microvm_build.image)
+
+    def test_unikernel_monitors_reject_linux_guests(self, microvm_build):
+        # solo5/uhyve expose only their bespoke devices; a Linux guest
+        # has no driver for any of them.
+        for monitor in (solo5_hvt(), uhyve()):
+            with pytest.raises(MonitorError, match="block device"):
+                monitor.check_linux_guest(microvm_build.image)
+
+
+class TestInjectedGuestCrash:
+    """The ``vmm.check_guest`` fault site models a boot crash on every
+    monitor: an otherwise-compatible guest dies with MonitorError."""
+
+    @pytest.mark.parametrize("make_monitor", [firecracker, qemu,
+                                              solo5_hvt, uhyve],
+                             ids=lambda m: m.__name__)
+    def test_injected_crash_raises_monitor_error(self, make_monitor,
+                                                 microvm_build):
+        from repro import faults
+        from repro.faults import FaultPlane
+
+        monitor = make_monitor()
+        plane = FaultPlane(seed=0)
+        plane.one_shot("vmm.check_guest", exc=MonitorError,
+                       message="injected driverless-guest boot crash")
+        try:
+            with faults.activated(plane):
+                with pytest.raises(MonitorError, match="injected"):
+                    monitor.check_linux_guest(microvm_build.image)
+        finally:
+            faults.deactivate()
+        assert plane.injected == 1
+
+    def test_check_recovers_after_one_shot(self, microvm_build):
+        from repro import faults
+        from repro.faults import FaultPlane
+
+        plane = FaultPlane(seed=0)
+        plane.one_shot("vmm.check_guest", exc=MonitorError)
+        try:
+            with faults.activated(plane):
+                with pytest.raises(MonitorError):
+                    firecracker().check_linux_guest(microvm_build.image)
+                # The fault was one-shot; the same check now passes.
+                firecracker().check_linux_guest(microvm_build.image)
+        finally:
+            faults.deactivate()

@@ -1,6 +1,6 @@
 #!/bin/sh
-# Repo health check: tier-1 tests, the EXPERIMENTS.md generator, and the
-# observability perf gate.
+# Repo health check: tier-1 tests, the EXPERIMENTS.md generator, the
+# observability perf gate, and the chaos (fault-injection) gate.
 #
 # The generator is deliberately run from a temporary working directory to
 # guard the sys.path bootstrap in tools/generate_experiments_md.py -- it
@@ -18,6 +18,15 @@
 # cold sweeps by >= 10x on visited options; cache hits must do zero
 # resolution work) and regresses the resulting counters against
 # benchmarks/baseline/BENCH_resolve.json.
+#
+# The chaos gate runs the full suite twice under the same seeded fault
+# schedule (repro-lupine chaos) and asserts the resilience invariants:
+# every experiment ends with a definite status, manifest/trace/metrics
+# always land, no stray temp files, and the two sub-runs are
+# byte-identical (see docs/RESILIENCE.md).  The warm run-all + regression
+# gate above doubles as the zero-fault invariant: with no fault plane
+# installed, counters (0 failures, 0 retries, 0 injected faults) must
+# match benchmarks/baseline/metrics.json.
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -48,6 +57,10 @@ test -s "$RUN_DIR/metrics.json"
 test -s "$RUN_DIR/run_manifest.json"
 PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline "$RUN_DIR" --no-timings
+
+echo "==> chaos gate (seeded fault schedule, 2 sub-runs, byte-identical)"
+PYTHONPATH=src python -m repro.cli chaos --seed 1234 \
+    --output-dir "$TMP_DIR/chaos"
 
 echo "==> resolver microbenchmark + counter gate"
 PYTHONPATH=src python -m repro.cli bench-resolve --check \
