@@ -12,6 +12,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.simcore.clock import VirtualClock
+
 #: Descriptor setup + available-ring update + doorbell kick.
 SUBMIT_NS = 450.0
 
@@ -57,11 +59,20 @@ class VirtioBlockDevice:
     capacity_mb: float
     queue_depth: int = 128
     read_only: bool = False
-    clock_ns: float = 0.0
+    clock: VirtualClock = field(default_factory=VirtualClock)
     stats: Dict[str, int] = field(
         default_factory=lambda: {"read": 0, "write": 0, "flush": 0}
     )
     _in_flight: List[BlockRequest] = field(default_factory=list)
+
+    @property
+    def clock_ns(self) -> float:
+        """Simulated nanoseconds accumulated on this device's clock."""
+        return self.clock.now_ns
+
+    @clock_ns.setter
+    def clock_ns(self, value: float) -> None:
+        self.clock.jump_to(value)
 
     @property
     def capacity_sectors(self) -> int:
@@ -83,7 +94,7 @@ class VirtioBlockDevice:
             self._check(request)
         if len(self._in_flight) >= self.queue_depth:
             self.complete_all()  # simulated back-pressure stall
-        self.clock_ns += SUBMIT_NS
+        self.clock.advance(SUBMIT_NS)
         self._in_flight.append(request)
 
     def complete_all(self) -> int:
@@ -95,12 +106,12 @@ class VirtioBlockDevice:
         """
         if not self._in_flight:
             return 0
-        self.clock_ns += DEVICE_LATENCY_NS
+        self.clock.advance(DEVICE_LATENCY_NS)
         for request in self._in_flight:
             if request.kind is RequestKind.FLUSH:
-                self.clock_ns += FLUSH_NS
+                self.clock.advance(FLUSH_NS)
             else:
-                self.clock_ns += request.size_kb * TRANSFER_NS_PER_KB
+                self.clock.advance(request.size_kb * TRANSFER_NS_PER_KB)
             self.stats[request.kind.value] += 1
         completed = len(self._in_flight)
         self._in_flight.clear()

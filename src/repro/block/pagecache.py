@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Set
 
 from repro.block.device import VirtioBlockDevice
+from repro.simcore.clock import VirtualClock
 
 PAGE_KB = 4.0
 
@@ -27,7 +28,7 @@ class PageCache:
 
     device: VirtioBlockDevice
     capacity_pages: int = 4096
-    clock_ns: float = 0.0
+    clock: VirtualClock = field(default_factory=VirtualClock)
     hits: int = 0
     misses: int = 0
     writebacks: int = 0
@@ -37,6 +38,15 @@ class PageCache:
     def __post_init__(self) -> None:
         if self.capacity_pages < 1:
             raise ValueError("cache needs at least one page")
+
+    @property
+    def clock_ns(self) -> float:
+        """Simulated nanoseconds accumulated on this cache's clock."""
+        return self.clock.now_ns
+
+    @clock_ns.setter
+    def clock_ns(self, value: float) -> None:
+        self.clock.jump_to(value)
 
     @property
     def cached_pages(self) -> int:
@@ -62,7 +72,7 @@ class PageCache:
         self._pages[page] = dirty
 
     def _writeback(self, page: int) -> None:
-        self.clock_ns += self.device.write(page * int(PAGE_KB * 2), PAGE_KB)
+        self.clock.advance(self.device.write(page * int(PAGE_KB * 2), PAGE_KB))
         self.writebacks += 1
 
     # -- file operations ------------------------------------------------------
@@ -75,12 +85,12 @@ class PageCache:
         for page in range(first, last + 1):
             if page in self._pages:
                 self._pages.move_to_end(page)
-                self.clock_ns += HIT_NS
+                self.clock.advance(HIT_NS)
                 self.hits += 1
             else:
-                self.clock_ns += self.device.read(
+                self.clock.advance(self.device.read(
                     page * int(PAGE_KB * 2), PAGE_KB
-                )
+                ))
                 self.misses += 1
                 self._insert(page, dirty=False)
         return self.clock_ns - before
@@ -91,7 +101,7 @@ class PageCache:
         first = self._page_of(offset_kb)
         last = self._page_of(offset_kb + max(size_kb, 0.001) - 0.001)
         for page in range(first, last + 1):
-            self.clock_ns += HIT_NS
+            self.clock.advance(HIT_NS)
             self._insert(page, dirty=True)
         return self.clock_ns - before
 
@@ -101,5 +111,5 @@ class PageCache:
         for page in sorted(self.dirty_pages):
             self._writeback(page)
             self._pages[page] = False
-        self.clock_ns += self.device.flush()
+        self.clock.advance(self.device.flush())
         return self.clock_ns - before

@@ -25,7 +25,8 @@ from repro.boot.phases import (
 )
 from repro.faults import fault_site
 from repro.kbuild.image import KernelImage
-from repro.observe import METRICS, TRACER, span
+from repro.observe import METRICS, span
+from repro.simcore.context import current_clock
 
 
 @dataclass
@@ -91,14 +92,15 @@ class BootSimulator:
             phases[BootPhase.INITCALLS] = self._initcalls_ms(image)
             phases[BootPhase.ROOTFS_MOUNT] = rootfs.mount_ms
             phases[BootPhase.INIT_EXEC] = INIT_EXEC_MS
-            # One child span per phase, advancing the tracer's simulated
-            # clock by the modelled duration: the trace carries the boot
-            # timeline Figure 7 is made of, not just host overhead.
+            # One child span per phase, advancing the active virtual
+            # clock by the modelled duration: booted under a Guest scope
+            # this is the guest's own timeline (and the trace carries the
+            # boot timeline Figure 7 is made of, not just host overhead).
             for phase in BootPhase:
                 if phase not in phases:
                     continue
                 with span(f"boot.{phase.value}", category="boot"):
-                    TRACER.sim.advance(phases[phase])
+                    current_clock().advance_ms(phases[phase])
             record.set_attr("total_sim_ms", report.total_ms)
         METRICS.counter("boot.boots").inc()
         METRICS.histogram(

@@ -23,6 +23,10 @@ Subcommands:
 - ``bench-resolve``    -- the resolver microbenchmark: cold sweep vs cold
   worklist vs warm-start delta vs cache hit, as deterministic work-counter
   deltas written to ``BENCH_resolve.json`` next to the run manifest.
+- ``bench-guests``     -- the fleet-simulation microbenchmark: boot and
+  serve whole guest fleets per kernel policy through the unified guest
+  runtime, as deterministic work-counter deltas (plus TickClock
+  throughput) written to ``BENCH_guests.json``.
 - ``apps``             -- list the top-20 application registry.
 """
 
@@ -191,6 +195,42 @@ def _cmd_bench_resolve(args: argparse.Namespace) -> int:
         if failures:
             return 1
         print("check        : ok (warm-start and cache criteria hold)")
+    return 0
+
+
+def _cmd_bench_guests(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.harness.runner import default_output_dir
+    from repro.simcore.bench import (
+        BENCH_GUESTS_NAME,
+        check_result,
+        render_summary,
+        run_bench,
+        write_result,
+    )
+
+    result = run_bench()
+    output_dir = (
+        pathlib.Path(args.output_dir)
+        if args.output_dir is not None else default_output_dir()
+    )
+    result_path = output_dir / BENCH_GUESTS_NAME
+    write_result(result, result_path)
+    print(render_summary(result))
+    print(f"written      : {result_path}")
+    if args.snapshot is not None:
+        snapshot_path = pathlib.Path(args.snapshot)
+        write_result(result, snapshot_path)
+        print(f"snapshot     : {snapshot_path}")
+    if args.check:
+        failures = check_result(result)
+        for failure in failures:
+            print(f"CHECK FAILED : {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check        : ok (fleet scale and kernel-sharing "
+              "criteria hold)")
     return 0
 
 
@@ -473,6 +513,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="where BENCH_resolve.json lands "
                           "(default: benchmarks/output/)")
     sub.set_defaults(func=_cmd_bench_resolve)
+
+    sub = subparsers.add_parser(
+        "bench-guests",
+        help="fleet-simulation microbenchmark: boot+serve whole guest "
+             "fleets per kernel policy (deterministic counter deltas; "
+             "writes BENCH_guests.json)",
+    )
+    sub.add_argument("--check", action="store_true",
+                     help="exit 1 unless the general fleet boots >= 1000 "
+                          "monitor-checked guests on exactly one shared "
+                          "kernel and the per-app fleet diversifies")
+    sub.add_argument("--snapshot", default=None, metavar="PATH",
+                     help="also write the result JSON to PATH (e.g. "
+                          "benchmarks/baseline/BENCH_guests.json)")
+    sub.add_argument("--output-dir", default=None, metavar="DIR",
+                     help="where BENCH_guests.json lands "
+                          "(default: benchmarks/output/)")
+    sub.set_defaults(func=_cmd_bench_guests)
 
     sub = subparsers.add_parser(
         "diff",

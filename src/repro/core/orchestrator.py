@@ -12,8 +12,11 @@ evaluation was.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.apps.app import Application
 from repro.core.lupine import LupineBuilder, LupineUnikernel
@@ -66,6 +69,156 @@ class Fleet:
             name: unikernel.boot().boot_report.total_ms
             for name, unikernel in self.guests.items()
         }
+
+    @classmethod
+    def simulate(
+        cls,
+        count: int,
+        policy: KernelPolicy = KernelPolicy.GENERAL,
+        seed: int = 0,
+        requests_per_guest: int = 32,
+        kml: bool = True,
+    ) -> "FleetSimulation":
+        """Boot and drive *count* guests under *policy*; fully deterministic.
+
+        Draws an application mix from the registry's top-20 (weighted by
+        download popularity, seeded PRNG), runs every guest through the
+        unified :class:`~repro.simcore.guest.Guest` lifecycle -- full
+        Figure 2 image pipeline, boot, then *requests_per_guest* requests
+        of the app's workload profile -- each on its own virtual clock.
+        The same *seed* always yields a byte-identical manifest.
+        """
+        from repro.apps.registry import top20_in_popularity_order
+        from repro.simcore.guest import Guest, GuestSpec
+
+        if count < 1:
+            raise ValueError("a fleet needs at least one guest")
+        orchestrator = KernelOrchestrator(policy=policy, kml=kml)
+        apps = top20_in_popularity_order()
+        rng = random.Random(seed)
+        drawn = rng.choices(
+            apps, weights=[app.downloads_billions for app in apps], k=count
+        )
+        entries: List[GuestManifestEntry] = []
+        for index, app in enumerate(drawn):
+            spec = GuestSpec(
+                name=f"guest-{index:05d}",
+                variant=orchestrator._variant_for(app),
+                app=app.name,
+                full_image=True,
+            )
+            guest = Guest(spec).build()
+            boot_ms = guest.boot().total_ms
+            profile = _workload_profile(app.name)
+            requests, rps = 0, None
+            if profile is not None and guest.netpath is not None:
+                requests = requests_per_guest
+                rps = guest.serve(profile, requests)
+            guest.shutdown()
+            entries.append(GuestManifestEntry(
+                guest=spec.name,
+                app=app.name,
+                kernel=guest.kernel.config.name,
+                fingerprint=guest.kernel.fingerprint,
+                boot_ms=boot_ms,
+                uptime_ns=guest.uptime_ns,
+                requests=requests,
+                rps=rps,
+            ))
+        return FleetSimulation(
+            policy=policy, seed=seed, count=count, entries=entries
+        )
+
+
+#: Which serving profile each registry app exercises in a fleet run.
+#: Apps outside this map (databases modelled elsewhere, language runtimes,
+#: hello-world) boot but serve no requests.
+_PROFILE_BY_APP = {
+    "redis": ("repro.workloads.redis", "REDIS_GET"),
+    "memcached": ("repro.workloads.memcached", "MEMCACHED_GET"),
+    "nginx": ("repro.workloads.nginx", "NGINX_CONN"),
+    "httpd": ("repro.workloads.nginx", "NGINX_CONN"),
+    "node": ("repro.workloads.nginx", "NGINX_SESS"),
+    "traefik": ("repro.workloads.nginx", "NGINX_CONN"),
+    "haproxy": ("repro.workloads.nginx", "NGINX_CONN"),
+    "wordpress": ("repro.workloads.nginx", "NGINX_SESS"),
+    "php": ("repro.workloads.nginx", "NGINX_SESS"),
+}
+
+
+def _workload_profile(app_name: str):
+    entry = _PROFILE_BY_APP.get(app_name)
+    if entry is None:
+        return None
+    module_name, attribute = entry
+    module = __import__(module_name, fromlist=[attribute])
+    return getattr(module, attribute)
+
+
+@dataclass(frozen=True)
+class GuestManifestEntry:
+    """One fleet guest's lifecycle record."""
+
+    guest: str
+    app: str
+    kernel: str
+    fingerprint: str
+    boot_ms: float
+    uptime_ns: float
+    requests: int
+    rps: Optional[float]
+
+
+@dataclass
+class FleetSimulation:
+    """The deterministic outcome of one :meth:`Fleet.simulate` run."""
+
+    policy: KernelPolicy
+    seed: int
+    count: int
+    entries: List[GuestManifestEntry] = field(default_factory=list)
+
+    @property
+    def distinct_kernels(self) -> int:
+        return len({entry.fingerprint for entry in self.entries})
+
+    @property
+    def total_requests(self) -> int:
+        return sum(entry.requests for entry in self.entries)
+
+    @property
+    def total_boot_ms(self) -> float:
+        return sum(entry.boot_ms for entry in self.entries)
+
+    def manifest(self) -> Dict[str, object]:
+        """The canonical JSON-able manifest (digest input)."""
+        return {
+            "policy": self.policy.value,
+            "seed": self.seed,
+            "count": self.count,
+            "distinct_kernels": self.distinct_kernels,
+            "guests": [
+                {
+                    "guest": entry.guest,
+                    "app": entry.app,
+                    "kernel": entry.kernel,
+                    "fingerprint": entry.fingerprint,
+                    "boot_ms": entry.boot_ms,
+                    "uptime_ns": entry.uptime_ns,
+                    "requests": entry.requests,
+                    "rps": entry.rps,
+                }
+                for entry in self.entries
+            ],
+        }
+
+    @property
+    def manifest_digest(self) -> str:
+        """SHA-256 over the canonical manifest encoding."""
+        encoded = json.dumps(
+            self.manifest(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
 @dataclass

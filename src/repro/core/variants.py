@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.apps.app import Application
 from repro.core.buildcache import BUILD_CACHE, config_fingerprint
@@ -26,6 +26,7 @@ from repro.kconfig.database import base_option_names, build_linux_tree
 from repro.kconfig.resolver import ResolvedConfig, Resolver
 from repro.kml.patch import KmlPatch
 from repro.netstack.path import NetworkPath
+from repro.simcore.clock import VirtualClock
 from repro.syscall.cpu import EntryMechanism
 from repro.syscall.dispatch import SyscallEngine
 
@@ -93,12 +94,16 @@ class VariantBuild:
     def size_optimized(self) -> bool:
         return "CC_OPTIMIZE_FOR_SIZE" in self.config
 
-    def syscall_engine(self, kpti: bool = False) -> SyscallEngine:
+    def syscall_engine(self, kpti: bool = False,
+                       clock: Optional[VirtualClock] = None) -> SyscallEngine:
+        """A fresh engine for this kernel; *clock* binds it to a guest's
+        timeline (omitted: a private clock, the standalone idiom)."""
         return SyscallEngine.for_config(
             self.config.enabled,
             entry=self.entry_mechanism,
             kpti=kpti,
             size_optimized=self.size_optimized,
+            clock=clock,
         )
 
     def network_path(self) -> NetworkPath:
@@ -205,9 +210,11 @@ class MicrovmBuild:
     entry_mechanism: EntryMechanism = EntryMechanism.SYSCALL
     size_optimized: bool = False
 
-    def syscall_engine(self, kpti: bool = False) -> SyscallEngine:
+    def syscall_engine(self, kpti: bool = False,
+                       clock: Optional[VirtualClock] = None) -> SyscallEngine:
         return SyscallEngine.for_config(
-            self.config.enabled, entry=self.entry_mechanism, kpti=kpti
+            self.config.enabled, entry=self.entry_mechanism, kpti=kpti,
+            clock=clock,
         )
 
     def network_path(self) -> NetworkPath:

@@ -1,24 +1,28 @@
-"""Figure 10: KML improvement vs busy-wait iterations between syscalls."""
+"""Figure 10: KML improvement vs busy-wait iterations between syscalls.
+
+Each iteration point measures a fresh KML guest against a fresh no-KML
+guest (:mod:`repro.simcore`), so per-guest jitter state never leaks
+between points.
+"""
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.core.variants import Variant, build_variant
+from repro.core.variants import Variant
 from repro.metrics.reporting import Figure
+from repro.simcore import variant_guest
 from repro.syscall.lmbench import kml_improvement
 
 ITERATION_POINTS = (0, 10, 20, 40, 60, 80, 100, 120, 140, 160)
 
 
 def run() -> List[Tuple[int, float]]:
-    kml_build = build_variant(Variant.LUPINE)
-    nokml_build = build_variant(Variant.LUPINE_NOKML)
     points = []
     for iterations in ITERATION_POINTS:
         improvement = kml_improvement(
-            kml_build.syscall_engine(),
-            nokml_build.syscall_engine(),
+            variant_guest(Variant.LUPINE).engine,
+            variant_guest(Variant.LUPINE_NOKML).engine,
             iterations,
         )
         points.append((iterations, improvement))

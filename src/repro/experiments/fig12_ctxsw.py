@@ -1,11 +1,16 @@
-"""Figure 12: perf context-switch benchmark, threads vs processes."""
+"""Figure 12: perf context-switch benchmark, threads vs processes.
+
+Each (groups, variant, mode) cell runs the messaging benchmark on a
+fresh :class:`~repro.simcore.guest.Guest`'s engine.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.variants import Variant, build_variant
+from repro.core.variants import Variant
 from repro.metrics.reporting import Figure
+from repro.simcore import variant_guest
 from repro.workloads.perf_messaging import run_messaging
 
 GROUP_COUNTS = (1, 2, 4, 8, 16)
@@ -13,18 +18,16 @@ GROUP_COUNTS = (1, 2, 4, 8, 16)
 
 def run() -> Dict[str, List[tuple]]:
     """series -> [(groups, ms per 100-message batch), ...]."""
-    kml_build = build_variant(Variant.LUPINE)
-    nokml_build = build_variant(Variant.LUPINE_NOKML)
     series: Dict[str, List[tuple]] = {
         "KML Thread": [], "KML Process": [],
         "NOKML Thread": [], "NOKML Process": [],
     }
     for groups in GROUP_COUNTS:
-        for label, build in (("KML", kml_build), ("NOKML", nokml_build)):
+        for label, variant in (("KML", Variant.LUPINE),
+                               ("NOKML", Variant.LUPINE_NOKML)):
             for mode, use_processes in (("Thread", False), ("Process", True)):
-                result = run_messaging(
-                    build.syscall_engine(), groups, use_processes
-                )
+                guest = variant_guest(variant)
+                result = run_messaging(guest.engine, groups, use_processes)
                 series[f"{label} {mode}"].append(
                     (groups, result.ms_per_batch)
                 )

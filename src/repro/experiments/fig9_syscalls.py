@@ -1,11 +1,17 @@
-"""Figure 9: system call latency via lmbench (null/read/write)."""
+"""Figure 9: system call latency via lmbench (null/read/write).
+
+Every measurement runs on a fresh :class:`~repro.simcore.guest.Guest`
+(its engine bound to the guest's virtual clock), matching lmbench's
+practice of a clean process per timing run.
+"""
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.core.variants import Variant, build_microvm, build_variant
+from repro.core.variants import Variant
 from repro.metrics.reporting import Figure
+from repro.simcore import microvm_guest, variant_guest
 from repro.syscall.lmbench import (
     null_latency_us,
     read_latency_us,
@@ -16,21 +22,21 @@ from repro.unikernels import HermiTux, OSv, Rumprun
 TESTS = ("null", "read", "write")
 
 
-def _linux_row(build) -> Dict[str, float]:
+def _linux_row(variant: Optional[Variant]) -> Dict[str, float]:
     measurements = {}
     for test, runner in (("null", null_latency_us), ("read", read_latency_us),
                          ("write", write_latency_us)):
-        engine = build.syscall_engine()
-        measurements[test] = runner(engine)
+        guest = microvm_guest() if variant is None else variant_guest(variant)
+        measurements[test] = runner(guest.engine)
     return measurements
 
 
 def run() -> Dict[str, Dict[str, float]]:
     results = {
-        "microvm": _linux_row(build_microvm()),
-        "lupine-nokml": _linux_row(build_variant(Variant.LUPINE_NOKML)),
-        "lupine": _linux_row(build_variant(Variant.LUPINE)),
-        "lupine-general": _linux_row(build_variant(Variant.LUPINE_GENERAL)),
+        "microvm": _linux_row(None),
+        "lupine-nokml": _linux_row(Variant.LUPINE_NOKML),
+        "lupine": _linux_row(Variant.LUPINE),
+        "lupine-general": _linux_row(Variant.LUPINE_GENERAL),
     }
     for unikernel in (HermiTux(), OSv(), Rumprun()):
         results[unikernel.name.replace("-rofs", "")] = {

@@ -3,19 +3,23 @@
 redis-benchmark GET/SET and ab against nginx (connection- and
 session-based).  OSv values for nginx are N/A (drops connections) and
 HermiTux cannot run nginx (not curated) -- like the paper's empty cells.
+
+Each Linux row drives the benchmarks against per-app
+:class:`~repro.simcore.guest.Guest`\\ s: one redis guest and one nginx
+guest per kernel, each serving its workloads on its own virtual clock.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.apps.registry import get_app
-from repro.core.variants import Variant, build_microvm, build_variant
+from repro.core.variants import Variant
 from repro.metrics.reporting import Table
+from repro.simcore import Guest, microvm_guest, variant_guest
 from repro.unikernels import HermiTux, OSv, Rumprun
 from repro.workloads.nginx import ApacheBench, NGINX_CONN, NGINX_SESS
 from repro.workloads.redis import REDIS_GET, REDIS_SET, RedisBenchmark
-from repro.workloads.server import LinuxServerStack
 
 COLUMNS = ("redis-get", "redis-set", "nginx-conn", "nginx-sess")
 
@@ -28,21 +32,15 @@ LUPINE_VARIANTS = (
 )
 
 
-def _linux_rates(build_for_app) -> Dict[str, float]:
+def _linux_rates(guest_for_app: Callable[[str], Guest]) -> Dict[str, float]:
     redis_bench, apache_bench = RedisBenchmark(), ApacheBench()
-    redis_stack = LinuxServerStack(
-        engine=build_for_app("redis").syscall_engine(),
-        netpath=build_for_app("redis").network_path(),
-    )
-    nginx_stack = LinuxServerStack(
-        engine=build_for_app("nginx").syscall_engine(),
-        netpath=build_for_app("nginx").network_path(),
-    )
+    redis_guest = guest_for_app("redis")
+    nginx_guest = guest_for_app("nginx")
     return {
-        "redis-get": redis_bench.get_rps(redis_stack),
-        "redis-set": redis_bench.set_rps(redis_stack),
-        "nginx-conn": apache_bench.conn_rps(nginx_stack),
-        "nginx-sess": apache_bench.sess_rps(nginx_stack),
+        "redis-get": redis_bench.get_rps(redis_guest.server_stack),
+        "redis-set": redis_bench.set_rps(redis_guest.server_stack),
+        "nginx-conn": apache_bench.conn_rps(nginx_guest.server_stack),
+        "nginx-sess": apache_bench.sess_rps(nginx_guest.server_stack),
     }
 
 
@@ -66,14 +64,13 @@ def _unikernel_rates(unikernel) -> Dict[str, Optional[float]]:
 
 def run() -> Dict[str, Dict[str, Optional[float]]]:
     """system -> column -> throughput normalized to microVM."""
-    microvm = build_microvm()
-    baseline = _linux_rates(lambda _app: microvm)
+    baseline = _linux_rates(lambda _app: microvm_guest())
     results: Dict[str, Dict[str, Optional[float]]] = {
         "microVM": {column: 1.0 for column in COLUMNS}
     }
     for variant in LUPINE_VARIANTS:
         rates = _linux_rates(
-            lambda app_name, v=variant: build_variant(v, get_app(app_name))
+            lambda app_name, v=variant: variant_guest(v, app_name)
         )
         results[variant.value] = {
             column: rates[column] / baseline[column] for column in COLUMNS

@@ -1,25 +1,30 @@
-"""Table 5 (Appendix A): full lmbench, microVM vs lupine-general."""
+"""Table 5 (Appendix A): full lmbench, microVM vs lupine-general.
+
+Each column is one :class:`~repro.simcore.guest.Guest`; the suite runs
+against its engine and network path.
+"""
 
 from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.variants import Variant, build_microvm, build_variant
+from repro.core.variants import Variant
 from repro.metrics.reporting import Table
+from repro.simcore import microvm_guest, variant_guest
 from repro.syscall.lmbench import LmbenchReport, run_suite
 
 
 def run() -> Dict[str, LmbenchReport]:
-    microvm = build_microvm()
-    general = build_variant(Variant.LUPINE_GENERAL)
+    microvm = microvm_guest()
+    general = variant_guest(Variant.LUPINE_GENERAL)
     return {
         "microvm": run_suite(
-            microvm.syscall_engine(), "microvm",
-            net_stack_ns=microvm.network_path().packet_ns(),
+            microvm.engine, "microvm",
+            net_stack_ns=microvm.netpath.packet_ns(),
         ),
         "lupine-general": run_suite(
-            general.syscall_engine(), "lupine-general",
-            net_stack_ns=general.network_path().packet_ns(),
+            general.engine, "lupine-general",
+            net_stack_ns=general.netpath.packet_ns(),
         ),
     }
 

@@ -191,9 +191,9 @@ class FaultPlane:
             return
         self._record(spec)
         if spec.kind == "hang":
-            from repro.observe import TRACER
+            from repro.simcore.context import current_clock
 
-            TRACER.sim.advance(spec.hang_ms)
+            current_clock().advance_ms(spec.hang_ms)
             raise FaultHang(site, spec.hang_ms)
         message = spec.message or f"injected fault at {site}"
         if spec.exc is not None:

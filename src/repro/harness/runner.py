@@ -68,6 +68,7 @@ from repro.metrics.telemetry import (
     RunTelemetry,
 )
 from repro.observe import METRICS, TRACER, span
+from repro.simcore.context import current_clock
 from repro.observe.export import write_run_artifacts
 from repro.observe.metrics import DEFAULT_MS_BUCKETS
 
@@ -241,7 +242,7 @@ def _execute_one(
     with span(f"experiment:{experiment.name}", category="harness",
               experiment=experiment.name) as record:
         with faults.experiment_scope(experiment.name):
-            sim_started = TRACER.sim.now_ms
+            sim_started = current_clock().now_ms
             while True:
                 attempts += 1
                 try:
@@ -254,7 +255,8 @@ def _execute_one(
                 except Exception as error:  # noqa: BLE001 -- failure isolation
                     error_text = f"{type(error).__name__}: {error}"
                     over_deadline = policy.deadline_ms is not None and (
-                        (TRACER.sim.now_ms - sim_started) > policy.deadline_ms
+                        (current_clock().now_ms - sim_started)
+                        > policy.deadline_ms
                         or (_now_ms() - started) > policy.deadline_ms
                     )
                     if isinstance(error, FaultHang) or over_deadline:
@@ -266,7 +268,7 @@ def _execute_one(
                         backoff_ms = policy.backoff_ms * attempts
                         with span("harness.retry", category="harness",
                                   attempt=attempts, backoff_ms=backoff_ms):
-                            TRACER.sim.advance(backoff_ms)
+                            current_clock().advance_ms(backoff_ms)
                         METRICS.counter("harness.retries").inc()
                         continue
                     status = "failed"

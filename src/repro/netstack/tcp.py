@@ -23,6 +23,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.netstack.path import NetworkPath
+from repro.simcore.clock import ScheduledEvent, VirtualClock
+
+#: 2MSL: how long an actively-closed connection lingers in TIME_WAIT
+#: before its port is reusable (RFC 793's 2 * maximum segment lifetime;
+#: Linux uses 60 s).  Expiry is driven by the stack's virtual clock --
+#: a deadline armed at close() fires when enough simulated time passes.
+TIME_WAIT_2MSL_NS = 60e9
 
 
 class TcpError(RuntimeError):
@@ -52,6 +59,8 @@ class Connection:
     state: TcpState
     segments_in: int = 0
     segments_out: int = 0
+    #: The armed 2MSL deadline while in TIME_WAIT (cleared on expiry).
+    time_wait_timer: Optional[ScheduledEvent] = None
 
     @property
     def established(self) -> bool:
@@ -114,10 +123,20 @@ class TcpStack:
     path: NetworkPath
     conntrack: Optional[ConntrackTable] = None
     backlog: int = 128
-    clock_ns: float = 0.0
+    clock: VirtualClock = field(default_factory=VirtualClock)
     _listeners: Dict[int, int] = field(default_factory=dict)  # port->pending
     _connections: Dict[FlowKey, Connection] = field(default_factory=dict)
     syns_dropped: int = 0
+    time_wait_expired: int = 0
+
+    @property
+    def clock_ns(self) -> float:
+        """Simulated nanoseconds accumulated on this stack's clock."""
+        return self.clock.now_ns
+
+    @clock_ns.setter
+    def clock_ns(self, value: float) -> None:
+        self.clock.jump_to(value)
 
     # -- server side --------------------------------------------------------
 
@@ -130,9 +149,9 @@ class TcpStack:
 
     def _charge_packet(self, connection_setup: bool) -> None:
         if connection_setup:
-            self.clock_ns += self.path.connection_packet_ns()
+            self.clock.advance(self.path.connection_packet_ns())
         else:
-            self.clock_ns += self.path.packet_ns()
+            self.clock.advance(self.path.packet_ns())
 
     def on_syn(self, port: int, peer: str, peer_port: int) -> Optional[Connection]:
         """An inbound SYN: reply SYN-ACK or drop/RST.
@@ -183,7 +202,7 @@ class TcpStack:
         self._require_established(connection)
         if self.conntrack is not None:
             self.conntrack.lookup(connection.key)
-        self.clock_ns += self.path.packet_ns(payload_bytes)
+        self.clock.advance(self.path.packet_ns(payload_bytes))
         connection.segments_in += 1
 
     def send_segment(self, connection: Connection,
@@ -191,18 +210,28 @@ class TcpStack:
         self._require_established(connection)
         if self.conntrack is not None:
             self.conntrack.lookup(connection.key)
-        self.clock_ns += self.path.packet_ns(payload_bytes)
+        self.clock.advance(self.path.packet_ns(payload_bytes))
         connection.segments_out += 1
 
     # -- teardown -----------------------------------------------------------------
 
     def close(self, connection: Connection) -> None:
-        """Active close: FIN -> (peer FIN-ACK) -> TIME_WAIT."""
+        """Active close: FIN -> (peer FIN-ACK) -> TIME_WAIT.
+
+        The 2MSL timer is armed on the stack's virtual clock: once
+        simulated time moves :data:`TIME_WAIT_2MSL_NS` past the close --
+        through workload charges, a guest's boot, or an explicit
+        ``clock.advance`` -- the connection expires by itself, with no
+        ``reap_time_wait()`` call.
+        """
         self._require_established(connection)
         connection.state = TcpState.FIN_WAIT_1
         self._charge_packet(connection_setup=False)  # FIN out
         self._charge_packet(connection_setup=False)  # FIN-ACK in
         connection.state = TcpState.TIME_WAIT
+        connection.time_wait_timer = self.clock.call_after(
+            TIME_WAIT_2MSL_NS, lambda: self._expire_time_wait(connection)
+        )
         if self.conntrack is not None:
             self.conntrack.update(connection.key, TcpState.TIME_WAIT)
 
@@ -217,14 +246,30 @@ class TcpStack:
         self._reap(connection)
 
     def reap_time_wait(self) -> int:
-        """Expire TIME_WAIT connections (the 2MSL timer)."""
+        """Expire all TIME_WAIT connections immediately.
+
+        The 2MSL timer normally fires off the virtual clock (see
+        :meth:`close`); this is the administrative fast-path -- e.g. a
+        stack teardown -- and the pre-virtual-time compatibility surface.
+        Cancels the pending deadlines it preempts.
+        """
         reaped = 0
         for connection in list(self._connections.values()):
             if connection.state is TcpState.TIME_WAIT:
-                connection.state = TcpState.CLOSED
-                self._reap(connection)
+                self._expire_time_wait(connection)
                 reaped += 1
         return reaped
+
+    def _expire_time_wait(self, connection: Connection) -> None:
+        """The 2MSL deadline: TIME_WAIT -> CLOSED, entry reaped."""
+        if connection.state is not TcpState.TIME_WAIT:
+            return
+        if connection.time_wait_timer is not None:
+            connection.time_wait_timer.cancel()
+            connection.time_wait_timer = None
+        connection.state = TcpState.CLOSED
+        self.time_wait_expired += 1
+        self._reap(connection)
 
     # -- queries ---------------------------------------------------------------------
 
@@ -251,10 +296,18 @@ class TcpStack:
 
 
 def stack_for_config(enabled_options, backlog: int = 128,
-                     conntrack_entries: int = 1024) -> TcpStack:
-    """Build a TcpStack matching a kernel configuration."""
+                     conntrack_entries: int = 1024,
+                     clock: Optional[VirtualClock] = None) -> TcpStack:
+    """Build a TcpStack matching a kernel configuration.
+
+    *clock* binds the stack to an existing timeline (a guest's clock);
+    omitted, the stack keeps a private clock, as standalone tests do.
+    """
     path = NetworkPath.for_options(enabled_options)
     conntrack = None
     if "NF_CONNTRACK" in set(enabled_options):
         conntrack = ConntrackTable(max_entries=conntrack_entries)
-    return TcpStack(path=path, conntrack=conntrack, backlog=backlog)
+    return TcpStack(
+        path=path, conntrack=conntrack, backlog=backlog,
+        clock=clock if clock is not None else VirtualClock(),
+    )

@@ -38,6 +38,7 @@ from repro.observe.metrics import (
     MetricsRegistry,
 )
 from repro.observe.tracer import (
+    ActiveSimClock,
     HostClock,
     SimClock,
     SpanRecord,
@@ -45,8 +46,11 @@ from repro.observe.tracer import (
     Tracer,
 )
 
-#: The process-wide tracer every instrumented layer records into.
-TRACER = Tracer()
+#: The process-wide tracer every instrumented layer records into.  Its
+#: simulated-time axis is a view over the *active* virtual clock
+#: (:func:`repro.simcore.context.current_clock`): the process default
+#: clock outside guest scopes, a guest's own clock inside its lifecycle.
+TRACER = Tracer(sim=ActiveSimClock())
 
 #: The process-wide metrics registry (counters/gauges/histograms).
 METRICS = MetricsRegistry()
@@ -72,6 +76,7 @@ def reset_observability() -> None:
 
 
 __all__ = [
+    "ActiveSimClock",
     "Counter",
     "DEFAULT_KB_BUCKETS",
     "DEFAULT_MS_BUCKETS",

@@ -34,9 +34,20 @@ import functools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+)
 
 from contextlib import contextmanager
+
+if TYPE_CHECKING:  # pragma: no cover -- typing only
+    from repro.simcore.clock import VirtualClock
 
 
 class HostClock:
@@ -68,33 +79,60 @@ class TickClock:
 
 
 class SimClock:
-    """The simulated-time axis: a monotonic ms counter advanced by models.
+    """The simulated-time axis: a millisecond view over a virtual clock.
 
-    Simulators call :meth:`advance` with modelled durations (boot phase
-    times, syscall costs...).  It never reads the host clock, so simulated
-    timestamps are deterministic across machines and runs.
+    Historically this was its own ms counter; it is now a unit-adapting
+    view over a :class:`repro.simcore.clock.VirtualClock` (the single
+    time authority), so spans recorded while a guest is active carry that
+    guest's timeline.  A ``SimClock()`` with no argument owns a private
+    clock -- ad-hoc ``Tracer()`` instances stay isolated.
+
+    Simulators no longer call :meth:`advance` directly (the
+    ``tools/lint_time.py`` gate forbids it outside simcore/observe);
+    they advance :func:`repro.simcore.context.current_clock`.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._now_ms = 0.0
+    def __init__(self, clock: Optional["VirtualClock"] = None) -> None:
+        if clock is None:
+            from repro.simcore.clock import VirtualClock
+
+            clock = VirtualClock()
+        self._clock = clock
+
+    def _target(self) -> "VirtualClock":
+        return self._clock
 
     @property
     def now_ms(self) -> float:
-        with self._lock:
-            return self._now_ms
+        return self._target().now_ms
 
     def advance(self, ms: float) -> float:
         """Advance simulated time by *ms* (>= 0), returning the new now."""
         if ms < 0:
             raise ValueError(f"simulated time cannot go backwards ({ms} ms)")
-        with self._lock:
-            self._now_ms += ms
-            return self._now_ms
+        return self._target().advance_ms(ms)
 
     def reset(self) -> None:
-        with self._lock:
-            self._now_ms = 0.0
+        self._target().reset()
+
+
+class ActiveSimClock(SimClock):
+    """The process tracer's sim axis: a view over the *active* clock.
+
+    Delegates every reading to
+    :func:`repro.simcore.context.current_clock`: outside a guest scope
+    that is the process default clock (the old global counter); inside
+    ``Guest.boot()``/``serve()`` it is that guest's own clock, so traces
+    line up with per-guest virtual time.
+    """
+
+    def __init__(self) -> None:  # noqa: super().__init__ -- owns no clock
+        pass
+
+    def _target(self) -> "VirtualClock":
+        from repro.simcore.context import current_clock
+
+        return current_clock()
 
 
 @dataclass

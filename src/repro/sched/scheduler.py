@@ -15,6 +15,7 @@ from typing import Deque, Dict, List, Optional
 
 from repro.sched.smp import SmpModel
 from repro.sched.task import Task, TaskKind, TaskState
+from repro.simcore.clock import VirtualClock
 from repro.syscall.cpu import CpuCostModel
 
 
@@ -32,13 +33,24 @@ class Scheduler:
 
     cost_model: CpuCostModel
     smp: SmpModel = field(default_factory=lambda: SmpModel(smp_enabled=False))
-    clock_ns: float = 0.0
+    clock: VirtualClock = field(default_factory=VirtualClock)
     switch_count: int = 0
     _tasks: Dict[int, Task] = field(default_factory=dict)
     _ready: Deque[int] = field(default_factory=deque)
     _next_pid: int = 1
     _next_asid: int = 1
     current: Optional[Task] = None
+
+    @property
+    def clock_ns(self) -> float:
+        """Simulated nanoseconds accumulated on this scheduler's clock."""
+        return self.clock.now_ns
+
+    @clock_ns.setter
+    def clock_ns(self, value: float) -> None:
+        # Exact-set semantics for legacy ``scheduler.clock_ns += x`` /
+        # ``= 0.0`` call sites (futex charges, perf-messaging rebase).
+        self.clock.jump_to(value)
 
     # -- task lifecycle ----------------------------------------------------
 
@@ -69,7 +81,7 @@ class Scheduler:
             working_set_kb=parent.working_set_kb,
         )
         self._admit(child)
-        self.clock_ns += 1600.0 + 0.4 * parent.working_set_kb  # COW setup
+        self.clock.advance(1600.0 + 0.4 * parent.working_set_kb)  # COW setup
         return child
 
     def create_thread(self, parent: Task, name: Optional[str] = None) -> Task:
@@ -85,7 +97,7 @@ class Scheduler:
             working_set_kb=parent.working_set_kb,
         )
         self._admit(thread)
-        self.clock_ns += 900.0
+        self.clock.advance(900.0)
         return thread
 
     def exec(self, task: Task, name: str, working_set_kb: int = 0) -> Task:
@@ -93,7 +105,7 @@ class Scheduler:
         self._check_alive(task)
         task.name = name
         task.working_set_kb = working_set_kb
-        self.clock_ns += 5200.0
+        self.clock.advance(5200.0)
         return task
 
     def exit(self, task: Task, code: int = 0) -> None:
@@ -104,7 +116,7 @@ class Scheduler:
             self._ready.remove(task.pid)
         if self.current is task:
             self.current = None
-        self.clock_ns += 300.0
+        self.clock.advance(300.0)
 
     # -- state transitions ---------------------------------------------------
 
@@ -125,7 +137,7 @@ class Scheduler:
             return
         task.state = TaskState.READY
         self._ready.append(task.pid)
-        self.clock_ns += 350.0 + self.smp.lock_pair_ns()
+        self.clock.advance(350.0 + self.smp.lock_pair_ns())
 
     # -- scheduling -----------------------------------------------------------
 
@@ -153,7 +165,7 @@ class Scheduler:
             cost += CACHE_REFILL_NS_PER_KB * min(
                 next_task.working_set_kb, 64
             ) * self._cache_pressure()
-            self.clock_ns += cost
+            self.clock.advance(cost)
             self.switch_count += 1
             next_task.vruntime_ns += cost
         self.current = next_task
@@ -163,7 +175,7 @@ class Scheduler:
         """Run *task* for a simulated CPU burst."""
         if self.current is not task:
             raise SchedulerError(f"{task} is not current")
-        self.clock_ns += duration_ns
+        self.clock.advance(duration_ns)
         task.vruntime_ns += duration_ns
 
     # -- queries ---------------------------------------------------------------

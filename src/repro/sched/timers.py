@@ -101,6 +101,26 @@ class TimerWheel:
     def advance_ns(self, duration_ns: float) -> List[Timer]:
         return self.advance(int(duration_ns // self.tick_ns))
 
+    def bind_clock(self, clock) -> "TimerWheel":
+        """Drive this wheel from a :class:`VirtualClock`.
+
+        Registers a listener on *clock* that advances the wheel by the
+        number of whole ticks elapsed since binding, so every layer that
+        moves the guest's clock (syscalls, boot phases, TCP charges)
+        implicitly ticks the kernel's timer subsystem -- the HZ-granular
+        view of the same timeline.  Returns the wheel for chaining.
+        """
+        base_tick = self.current_tick
+        base_ns = clock.now_ns
+
+        def _sync(now_ns: float) -> None:
+            target = base_tick + int((now_ns - base_ns) // self.tick_ns)
+            if target > self.current_tick:
+                self.advance(target - self.current_tick)
+
+        clock.add_listener(_sync)
+        return self
+
     @property
     def pending_count(self) -> int:
         return len(self._timers)

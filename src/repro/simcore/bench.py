@@ -1,0 +1,178 @@
+"""The ``bench-guests`` microbenchmark: fleet simulation cost, counted.
+
+Boots and serves whole fleets through :meth:`Fleet.simulate
+<repro.core.orchestrator.Fleet.simulate>` and reports the deterministic
+*work counters* the run caused, per kernel policy:
+
+- ``fleet_general`` -- :data:`GENERAL_GUESTS` guests sharing one
+  ``lupine-general`` kernel (the paper's recommended deployment);
+- ``fleet_per_app`` -- :data:`PER_APP_GUESTS` guests on per-app
+  specialized kernels (maximum specialization, maximum builds).
+
+Nothing reported is wall-clock.  Boot and resolver work are counter
+deltas (``boot.boots``, ``kconfig.resolve.*``, ``vmm.guest_checks``);
+throughput is guests per second *on the TickClock* -- the tracer's host
+clock is swapped for a :class:`~repro.observe.tracer.TickClock`, which
+advances a fixed step per reading, so "elapsed time" counts clock
+readings (one per span edge), a machine-independent proxy for work.
+The manifest digest of each fleet is folded in as an integer counter,
+so the ``regress`` gate pins bit-identical fleet behaviour, not just
+equal work totals.  The checked-in snapshot lives at
+``benchmarks/baseline/BENCH_guests.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Callable, Dict, List
+
+from repro.observe import METRICS, TRACER
+
+#: File the benchmark JSON is written to, next to the run manifest.
+BENCH_GUESTS_NAME = "BENCH_guests.json"
+
+#: Fleet sizes per scenario.  The general fleet is the acceptance-scale
+#: run (>= 1000 guests on one shared kernel); the per-app fleet is
+#: smaller -- its point is kernel diversity, not scale.
+GENERAL_GUESTS = 1000
+PER_APP_GUESTS = 200
+
+#: The PRNG seed every scenario draws its application mix from.
+FLEET_SEED = 2020  # EuroSys '20
+
+_WORK_COUNTERS = (
+    "boot.boots",
+    "vmm.guest_checks",
+    "kconfig.resolutions",
+    "kconfig.resolve.visited_options",
+    "kconfig.resolve.cache_hits",
+    "kconfig.resolve.cache_misses",
+)
+
+
+def _measure(fn: Callable[[], None]) -> Dict[str, int]:
+    """Run *fn* and return the work-counter deltas it caused."""
+    before = {name: METRICS.counter(name).value for name in _WORK_COUNTERS}
+    fn()
+    return {
+        name: METRICS.counter(name).value - before[name]
+        for name in _WORK_COUNTERS
+    }
+
+
+def run_bench() -> Dict[str, Any]:
+    """Run every scenario and return the metrics-shaped result document."""
+    from repro.core.buildcache import BUILD_CACHE
+    from repro.core.orchestrator import Fleet, KernelPolicy
+    from repro.kconfig.rescache import RESOLUTION_CACHE
+    from repro.observe.tracer import TickClock
+
+    # Start cold so the counters are history-independent: the same bench
+    # numbers whether run standalone or after a full experiment sweep.
+    BUILD_CACHE.reset()
+    RESOLUTION_CACHE.reset()
+
+    scenarios = (
+        ("fleet_general", KernelPolicy.GENERAL, GENERAL_GUESTS),
+        ("fleet_per_app", KernelPolicy.PER_APP, PER_APP_GUESTS),
+    )
+    sections: Dict[str, Dict[str, int]] = {}
+    gauges: Dict[str, float] = {}
+    counters: Dict[str, int] = {}
+    host_clock = TRACER.clock
+    tick = TickClock(step_us=1000.0)
+    TRACER.clock = tick
+    try:
+        for section, policy, count in scenarios:
+            box: List[Any] = []
+            tick_before = tick._now
+            sections[section] = _measure(lambda: box.append(
+                Fleet.simulate(count, policy=policy, seed=FLEET_SEED)
+            ))
+            tick_elapsed_s = (tick._now - tick_before) / 1e6
+            simulation = box[0]
+            # Digest as an integer counter: the regress gate then pins
+            # bit-identical manifests, not just equal work totals.
+            counters[f"fleet.manifest_digest48.{section}"] = int(
+                simulation.manifest_digest[:12], 16
+            )
+            gauges[f"fleet.guests.{section}"] = float(simulation.count)
+            gauges[f"fleet.distinct_kernels.{section}"] = float(
+                simulation.distinct_kernels
+            )
+            gauges[f"fleet.requests.{section}"] = float(
+                simulation.total_requests
+            )
+            gauges[f"fleet.guests_per_tick_sec.{section}"] = round(
+                count / tick_elapsed_s, 2
+            )
+    finally:
+        TRACER.clock = host_clock
+
+    counters.update({
+        f"{metric}.{section}": value
+        for section, deltas in sections.items()
+        for metric, value in deltas.items()
+    })
+    return {"counters": counters, "gauges": gauges, "histograms": {}}
+
+
+def check_result(result: Dict[str, Any]) -> List[str]:
+    """Return acceptance-criterion violations ([] when the result passes)."""
+    counters = result.get("counters", {})
+    gauges = result.get("gauges", {})
+    failures: List[str] = []
+    boots = counters.get("boot.boots.fleet_general", 0)
+    if boots < 1000:
+        failures.append(
+            f"general fleet booted only {boots} guests; need >= 1000"
+        )
+    checks = counters.get("vmm.guest_checks.fleet_general", 0)
+    if checks != boots:
+        failures.append(
+            f"general fleet ran {checks} guest checks for {boots} boots; "
+            "every full-image guest must be monitor-checked"
+        )
+    shared = gauges.get("fleet.distinct_kernels.fleet_general", 0.0)
+    if shared != 1.0:
+        failures.append(
+            f"general fleet materialized {shared:g} distinct kernels; "
+            "the general policy must share exactly one"
+        )
+    diverse = gauges.get("fleet.distinct_kernels.fleet_per_app", 0.0)
+    if diverse <= 1.0:
+        failures.append(
+            f"per-app fleet materialized {diverse:g} distinct kernels; "
+            "specialization must produce several"
+        )
+    if counters.get("fleet.manifest_digest48.fleet_general", 0) <= 0:
+        failures.append("general fleet manifest digest missing")
+    return failures
+
+
+def write_result(result: Dict[str, Any], path: pathlib.Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def render_summary(result: Dict[str, Any]) -> str:
+    """Human-readable scenario table for the CLI."""
+    counters, gauges = result["counters"], result["gauges"]
+    lines = [
+        f"{'scenario':<14} {'guests':>7} {'kernels':>8} "
+        f"{'resolutions':>11} {'guests/tick-s':>13}"
+    ]
+    for section in ("fleet_general", "fleet_per_app"):
+        lines.append(
+            f"{section:<14} "
+            f"{int(gauges[f'fleet.guests.{section}']):>7} "
+            f"{int(gauges[f'fleet.distinct_kernels.{section}']):>8} "
+            f"{counters[f'kconfig.resolutions.{section}']:>11} "
+            f"{gauges[f'fleet.guests_per_tick_sec.{section}']:>13g}"
+        )
+    digest = counters["fleet.manifest_digest48.fleet_general"]
+    lines.append(f"general-fleet manifest digest48: {digest:012x}")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""The per-guest virtual clock: one time authority for every layer.
+
+Before this module the repository kept four disconnected time domains --
+``TRACER.sim`` (milliseconds), ``SyscallEngine.clock_ns``, the scheduler's
+nanosecond accumulator and the timer wheel's tick counter -- so a boot, a
+syscall burst and a TCP teardown on the *same guest* advanced unrelated
+counters and cross-layer causality (a 2MSL timer expiring because the
+workload ran long enough) was unrepresentable.
+
+:class:`VirtualClock` is the single authority: a nanosecond-resolution
+monotonic accumulator with a deadline/event queue and listeners.  The
+boot simulator, syscall engine, scheduler, timer wheel and TCP stack of
+one guest all advance the same instance (see
+:mod:`repro.simcore.guest`); ``observe.TRACER.sim`` is a millisecond view
+over the *active* clock (:mod:`repro.simcore.context`).
+
+Float-fold exactness
+--------------------
+
+The reproduction's golden-parity guarantee rests on IEEE-754 addition
+being replayed exactly: experiment outputs are folds like
+``clock += latency`` and float addition is not associative.  The clock
+therefore guarantees that ``advance(ns)`` computes **exactly**
+``now + ns`` (one double addition, identical to the ``clock_ns += x``
+folds it replaces), and ``advance_to``/``jump_to`` set the target value
+**exactly** (no ``now + (target - now)`` rounding detour).  Event
+dispatch never perturbs the accumulator: due events observe their
+deadline, then the clock lands on the exact target.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Callable, List, Optional
+
+
+class ClockError(ValueError):
+    """Invalid clock operations (negative advances, past deadlines)."""
+
+
+class ScheduledEvent:
+    """One pending deadline on a :class:`VirtualClock`."""
+
+    __slots__ = ("deadline_ns", "seq", "callback", "cancelled")
+
+    def __init__(self, deadline_ns: float, seq: int,
+                 callback: Optional[Callable[[], None]]) -> None:
+        self.deadline_ns = deadline_ns
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns False if it already fired/cancelled."""
+        if self.cancelled:
+            return False
+        self.cancelled = True
+        return True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.deadline_ns, self.seq) < (other.deadline_ns, other.seq)
+
+
+class VirtualClock:
+    """Monotonic simulated time in nanoseconds, with deadlines.
+
+    Thread-safe for concurrent advances (the harness runs experiments on
+    a pool); callbacks and listeners run outside the lock, at the moment
+    the clock sits exactly on the event's deadline.
+    """
+
+    def __init__(self, start_ns: float = 0.0) -> None:
+        self._lock = threading.RLock()
+        self._now_ns = float(start_ns)
+        self._events: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._listeners: List[Callable[[float], None]] = []
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def now_ns(self) -> float:
+        with self._lock:
+            return self._now_ns
+
+    @property
+    def now_ms(self) -> float:
+        with self._lock:
+            return self._now_ns / 1e6
+
+    @property
+    def pending_events(self) -> int:
+        with self._lock:
+            return sum(1 for e in self._events if not e.cancelled)
+
+    # -- advancing ---------------------------------------------------------
+
+    def advance(self, ns: float) -> float:
+        """Advance by *ns* >= 0 nanoseconds; returns the new now.
+
+        Exactness: the final value is exactly ``now + ns`` (one double
+        addition), regardless of how many events fire on the way.
+        """
+        if ns < 0:
+            raise ClockError(f"virtual time cannot go backwards ({ns} ns)")
+        with self._lock:
+            return self._run_to(self._now_ns + ns)
+
+    def advance_ms(self, ms: float) -> float:
+        """Advance by *ms* milliseconds; returns the new now in ms."""
+        if ms < 0:
+            raise ClockError(f"virtual time cannot go backwards ({ms} ms)")
+        return self.advance(ms * 1e6) / 1e6
+
+    def advance_to(self, target_ns: float) -> float:
+        """Advance to exactly *target_ns* (>= now); fires due events."""
+        with self._lock:
+            if target_ns < self._now_ns:
+                raise ClockError(
+                    f"advance_to({target_ns}) is in the past "
+                    f"(now {self._now_ns})"
+                )
+            return self._run_to(target_ns)
+
+    def jump_to(self, value_ns: float) -> float:
+        """Set the clock to exactly *value_ns*, forwards or backwards.
+
+        Forward jumps behave like :meth:`advance_to` (due events fire);
+        backward jumps rebase the accumulator administratively -- the
+        legacy ``engine.clock_ns = 0.0`` reset idiom -- leaving pending
+        events armed at their absolute deadlines.
+        """
+        with self._lock:
+            if value_ns < self._now_ns:
+                self._now_ns = float(value_ns)
+                return self._now_ns
+            return self._run_to(value_ns)
+
+    def reset(self) -> None:
+        """Rewind to zero and drop all pending events (test isolation)."""
+        with self._lock:
+            self._now_ns = 0.0
+            self._events.clear()
+
+    # -- deadlines ---------------------------------------------------------
+
+    def call_at(self, deadline_ns: float,
+                callback: Optional[Callable[[], None]] = None
+                ) -> ScheduledEvent:
+        """Schedule *callback* to fire when the clock reaches *deadline_ns*."""
+        with self._lock:
+            if deadline_ns < self._now_ns:
+                raise ClockError(
+                    f"deadline {deadline_ns} is in the past "
+                    f"(now {self._now_ns})"
+                )
+            event = ScheduledEvent(deadline_ns, next(self._seq), callback)
+            heapq.heappush(self._events, event)
+        return event
+
+    def call_after(self, delay_ns: float,
+                   callback: Optional[Callable[[], None]] = None
+                   ) -> ScheduledEvent:
+        """Schedule *callback* to fire *delay_ns* >= 0 from now."""
+        if delay_ns < 0:
+            raise ClockError(f"cannot schedule {delay_ns} ns in the past")
+        with self._lock:
+            return self.call_at(self._now_ns + delay_ns, callback)
+
+    # -- listeners ---------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[float], None]) -> None:
+        """Register *listener(now_ns)*, called after every forward move.
+
+        The timer wheel binds through this: each advance syncs the wheel
+        by the number of whole ticks elapsed (see
+        :meth:`repro.sched.timers.TimerWheel.bind_clock`).
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[float], None]) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_to(self, target_ns: float) -> float:
+        """Move to exactly *target_ns*, firing due events in deadline order.
+
+        Caller holds ``self._lock`` (re-entrant): the whole move, event
+        callbacks included, is atomic with respect to other threads, just
+        as the per-layer ``clock_ns += x`` folds it replaces were single
+        statements.  Callbacks may re-enter the clock from this thread.
+        """
+        while True:
+            while self._events and self._events[0].cancelled:
+                heapq.heappop(self._events)
+            if self._events and self._events[0].deadline_ns <= target_ns:
+                event = heapq.heappop(self._events)
+                # The callback observes the clock *at* its deadline.
+                self._now_ns = event.deadline_ns
+                if event.callback is not None:
+                    event.callback()
+            else:
+                self._now_ns = target_ns
+                break
+        for listener in list(self._listeners):
+            listener(target_ns)
+        return target_ns

@@ -16,9 +16,11 @@ sequence number) models measurement noise without breaking reproducibility.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 
+from repro.simcore.clock import VirtualClock
 from repro.syscall.cpu import CpuCostModel, EntryMechanism
 from repro.syscall.table import SYSCALLS, Syscall
 
@@ -68,9 +70,21 @@ class SyscallEngine:
 
     enabled_options: FrozenSet[str]
     cost_model: CpuCostModel
-    clock_ns: float = 0.0
+    clock: VirtualClock = field(default_factory=VirtualClock)
     call_count: int = 0
     per_syscall_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clock_ns(self) -> float:
+        """Simulated nanoseconds accumulated on this engine's clock."""
+        return self.clock.now_ns
+
+    @clock_ns.setter
+    def clock_ns(self, value: float) -> None:
+        # Exact-set semantics: legacy call sites do ``engine.clock_ns = 0.0``
+        # and ``engine.clock_ns += x``; ``jump_to`` lands on the exact
+        # value (no ``now + (value - now)`` rounding detour).
+        self.clock.jump_to(value)
 
     @classmethod
     def for_config(
@@ -79,6 +93,7 @@ class SyscallEngine:
         entry: EntryMechanism = EntryMechanism.SYSCALL,
         kpti: bool = False,
         size_optimized: bool = False,
+        clock: Optional[VirtualClock] = None,
     ) -> "SyscallEngine":
         enabled = frozenset(enabled_options)
         return cls(
@@ -86,6 +101,7 @@ class SyscallEngine:
             cost_model=CpuCostModel.for_options(
                 enabled, entry=entry, kpti=kpti, size_optimized=size_optimized
             ),
+            clock=clock if clock is not None else VirtualClock(),
         )
 
     # -- availability ------------------------------------------------------
@@ -118,7 +134,7 @@ class SyscallEngine:
             syscall.handler_ns + work_ns, syscall.data_path
         )
         latency += self._jitter()
-        self.clock_ns += latency
+        self.clock.advance(latency)
         self.call_count += 1
         self.per_syscall_counts[name] = self.per_syscall_counts.get(name, 0) + 1
         return SyscallResult(name=name, latency_ns=latency)
@@ -134,7 +150,75 @@ class SyscallEngine:
         """Charge userspace CPU time (busy-wait loops in Figure 10)."""
         if duration_ns < 0:
             raise ValueError("cannot perform negative work")
-        self.clock_ns += duration_ns
+        self.clock.advance(duration_ns)
+
+    def invoke_batch(self, names: Sequence[str], work_ns: float,
+                     repeats: int) -> float:
+        """Drive ``repeats`` rounds of ``invoke(name) for name in names``
+        followed by ``cpu_work(work_ns)``, bit-for-bit equivalent to the
+        stepped calls but without per-call dispatch overhead.
+
+        The per-call cost is closed-form: base latency is a pure function
+        of the syscall, and the deterministic jitter a pure function of
+        the call sequence number with period 1000 (``c * 2654435761 mod
+        1000``).  The full addend series therefore repeats every
+        ``lcm(len(names), 1000) / len(names)`` rounds, so one period is
+        materialized and the fold replayed from it.  The fold itself must
+        stay element-wise -- IEEE-754 addition is not associative, and
+        golden parity requires the exact same additions in the exact same
+        order as the stepped loop -- but it runs over a local float with
+        precomputed addends, which is what makes ``LinuxServerStack.run``
+        cheap at fleet scale.
+
+        Returns the new ``clock_ns``.  Raises
+        :class:`SyscallNotImplemented` (before charging anything) if any
+        name is config-gated; callers needing the stepped loop's
+        partial-charge semantics must fall back to per-call ``invoke``.
+        """
+        if repeats < 0:
+            raise ValueError("cannot run a negative number of rounds")
+        if work_ns < 0:
+            raise ValueError("cannot perform negative work")
+        syscalls = [self.lookup(name) for name in names]
+        if repeats == 0:
+            return self.clock_ns
+        bases = [
+            self.cost_model.syscall_ns(s.handler_ns, s.data_path)
+            for s in syscalls
+        ]
+        entry_ns = self.cost_model.entry.entry_ns
+        stride = len(names)
+        # Distinct jitter phases recur after period(stride) rounds.
+        period = 1000 // math.gcd(stride, 1000) if stride else 1
+        period = min(period, repeats)
+        start_count = self.call_count
+        addends: List[float] = []
+        for round_index in range(period):
+            count = start_count + round_index * stride
+            for base in bases:
+                phase = (count * 2654435761) % 1000
+                # Same expression *and association* as invoke()+_jitter():
+                # float multiplication is no more associative than
+                # addition.
+                addends.append(
+                    base + ((phase / 1000.0) - 0.5) * 0.03 * entry_ns
+                )
+                count += 1
+            addends.append(work_ns)
+        clock = self.clock_ns
+        full_periods, tail_rounds = divmod(repeats, period)
+        for _ in range(full_periods):
+            for addend in addends:
+                clock += addend
+        for addend in addends[: tail_rounds * (stride + 1)]:
+            clock += addend
+        self.clock.advance_to(clock)
+        self.call_count += repeats * stride
+        for name in names:
+            self.per_syscall_counts[name] = (
+                self.per_syscall_counts.get(name, 0) + repeats
+            )
+        return clock
 
     def _jitter(self) -> float:
         # +/-1.5% deterministic jitter keyed on the call sequence number.
@@ -144,6 +228,6 @@ class SyscallEngine:
     # -- reporting ---------------------------------------------------------
 
     def reset_clock(self) -> None:
-        self.clock_ns = 0.0
+        self.clock.jump_to(0.0)
         self.call_count = 0
         self.per_syscall_counts.clear()

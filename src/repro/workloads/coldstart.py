@@ -5,21 +5,22 @@ serverless computing, where "unikernels have been shown to boot in as
 little as 5-10 ms" while VMs need hundreds.  This extension measures the
 full cold-start path for one function invocation: monitor setup + kernel
 boot + app exec + first request served.
+
+Each Linux cold start is one :class:`~repro.simcore.guest.Guest`
+lifecycle: the Lupine rows run the full Figure 2 image pipeline
+(``full_image`` guests, monitor guest-check included), the microVM row a
+kernel-only boot -- then the first request is costed on the same guest.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.apps.registry import get_app
-from repro.core.lupine import LupineBuilder
-from repro.core.variants import Variant, build_microvm
-from repro.boot.bootsim import BootSimulator
+from repro.core.variants import Variant
+from repro.simcore import guest_for_app, microvm_guest
 from repro.unikernels import HermiTux, OSv, Rumprun
-from repro.vmm.monitor import firecracker
 from repro.workloads.redis import REDIS_GET
-from repro.workloads.server import LinuxServerStack
 
 #: Simulated app initialization after exec (allocator, config parse, bind).
 APP_INIT_MS = 2.4
@@ -39,21 +40,15 @@ class ColdStartResult:
         return self.boot_ms + self.app_init_ms + self.first_request_ms
 
 
-def _linux_cold_start(system: str, variant: Variant = None) -> ColdStartResult:
-    app = get_app("redis")
+def _linux_cold_start(
+    system: str, variant: Optional[Variant] = None
+) -> ColdStartResult:
     if variant is None:
-        build = build_microvm()
-        simulator = BootSimulator(monitor_setup_ms=firecracker().setup_ms)
-        boot_ms = simulator.boot(build.image).total_ms
+        guest = microvm_guest()
     else:
-        unikernel = LupineBuilder(variant=variant).build_for_app(app)
-        guest = unikernel.boot()
-        boot_ms = guest.boot_report.total_ms
-        build = unikernel.build
-    stack = LinuxServerStack(
-        engine=build.syscall_engine(), netpath=build.network_path()
-    )
-    first_request_ms = stack.request_ns(REDIS_GET) / 1e6
+        guest = guest_for_app(variant, "redis")
+    boot_ms = guest.boot().total_ms
+    first_request_ms = guest.request_ns(REDIS_GET) / 1e6
     return ColdStartResult(
         system=system,
         boot_ms=boot_ms,
@@ -73,7 +68,6 @@ def run_cold_starts() -> Dict[str, ColdStartResult]:
             "lupine-nokml-general", Variant.LUPINE_GENERAL_NOKML
         ),
     }
-    app = get_app("redis")
     for unikernel in (HermiTux(), OSv(), Rumprun()):
         results[unikernel.name.replace("-rofs", "")] = ColdStartResult(
             system=unikernel.name,

@@ -40,20 +40,31 @@ class LinuxServerStack:
     engine: SyscallEngine
     netpath: NetworkPath
 
+    def _work_ns(self, profile: RequestProfile, base_ns: float = 0.0) -> float:
+        """Network + *base_ns* cost of one request, shared by every path.
+
+        The single source of the data/handshake formula: ``request_ns``
+        folds the syscall latencies in as *base_ns*, the live-run paths
+        fold in the app time -- so the analytic and driven costs cannot
+        drift apart.  The fold order (``((base + data) + handshake)``)
+        is load-bearing: float addition is not associative and both
+        callers' historical groupings reduce to exactly this shape.
+        """
+        return (
+            base_ns
+            + (profile.packets_in + profile.packets_out)
+            * self.netpath.packet_ns(profile.payload_bytes)
+            + profile.handshake_packets * self.netpath.connection_packet_ns()
+        )
+
     def request_ns(self, profile: RequestProfile) -> float:
         """Simulated time to serve one request."""
         syscall_ns = sum(
             self.engine.latency_ns(name) for name in profile.syscalls
         )
-        data_ns = (profile.packets_in + profile.packets_out) * (
-            self.netpath.packet_ns(profile.payload_bytes)
-        )
-        handshake_ns = profile.handshake_packets * (
-            self.netpath.connection_packet_ns()
-        )
         # Userspace work is slower in ring 0? No: KML processes run the same
         # code at the same speed; only kernel work scales with -Os.
-        return syscall_ns + data_ns + handshake_ns + profile.app_ns
+        return self._work_ns(profile, syscall_ns) + profile.app_ns
 
     def requests_per_second(self, profile: RequestProfile) -> float:
         return 1e9 / self.request_ns(profile)
@@ -63,16 +74,33 @@ class LinuxServerStack:
 
         Unlike :meth:`requests_per_second` this mutates engine state (the
         deterministic jitter applies), modelling a real benchmark run.
+
+        The per-request costs are batched through
+        :meth:`~repro.syscall.dispatch.SyscallEngine.invoke_batch`
+        (closed-form addends, one engine call), bit-for-bit identical to
+        the stepped loop :meth:`run_stepped` replays -- the property the
+        batched-vs-stepped parity test pins.  Profiles with config-gated
+        syscalls fall back to the stepped loop to preserve its
+        charge-then-raise semantics.
         """
+        if not all(self.engine.supports(name) for name in profile.syscalls):
+            return self.run_stepped(profile, requests)
+        start = self.engine.clock_ns
+        self.engine.invoke_batch(
+            profile.syscalls,
+            self._work_ns(profile, profile.app_ns),
+            requests,
+        )
+        elapsed_s = (self.engine.clock_ns - start) / 1e9
+        return requests / elapsed_s
+
+    def run_stepped(self, profile: RequestProfile, requests: int) -> float:
+        """The reference per-request loop (the oracle :meth:`run` must
+        match bit-for-bit; also the path for ENOSYS-raising profiles)."""
         start = self.engine.clock_ns
         for _ in range(requests):
             for name in profile.syscalls:
                 self.engine.invoke(name)
-            self.engine.cpu_work(
-                profile.app_ns
-                + (profile.packets_in + profile.packets_out)
-                * self.netpath.packet_ns(profile.payload_bytes)
-                + profile.handshake_packets * self.netpath.connection_packet_ns()
-            )
+            self.engine.cpu_work(self._work_ns(profile, profile.app_ns))
         elapsed_s = (self.engine.clock_ns - start) / 1e9
         return requests / elapsed_s

@@ -1,0 +1,61 @@
+"""Capture every experiment's ``run()`` output as canonical JSON.
+
+This is the producer behind ``tests/golden/experiments_golden.json`` and
+the replay half of ``tests/test_golden_parity.py``: it executes all
+registered experiments in registry (paper) order and serializes the
+results through the harness codec, deterministically
+(``sort_keys=True``).
+
+It must run in a fresh interpreter with ``PYTHONHASHSEED=0``: several
+models fold floats over ``frozenset`` iteration (e.g. summing per-option
+boot costs), so the exact last-ulp bits of the outputs depend on string
+hash ordering.  With the hash seed pinned, two runs -- and, critically,
+the pre- and post-refactor trees -- produce byte-identical documents.
+
+Usage::
+
+    PYTHONHASHSEED=0 python tests/golden/capture_golden.py [OUTPUT]
+
+With no OUTPUT the document is written to stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+
+def capture() -> str:
+    from repro.harness import codec
+    from repro.harness.registry import all_experiments
+
+    results = {}
+    for name, experiment in all_experiments().items():
+        results[name] = codec.encode(experiment.run())
+    return json.dumps(results, sort_keys=True, indent=1)
+
+
+def main() -> int:
+    if os.environ.get("PYTHONHASHSEED") != "0":
+        print(
+            "capture_golden.py requires PYTHONHASHSEED=0 "
+            "(set-iteration order feeds float folds)",
+            file=sys.stderr,
+        )
+        return 2
+    document = capture()
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+    else:
+        sys.stdout.write(document + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    sys.path.insert(0, os.path.join(repo_root, "src"))
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""The golden parity gate: every experiment is byte-identical to the pin.
+
+``tests/golden/experiments_golden.json`` captures the encoded output of
+all registered experiments from before the simcore refactor.  This test
+re-captures them in a fresh subprocess (``PYTHONHASHSEED=0`` -- several
+models fold floats over set-ordered config options, so hash order is
+part of the reproducibility contract) and compares byte-for-byte.
+
+If this fails after an intentional model change, re-pin with::
+
+    PYTHONHASHSEED=0 python tests/golden/capture_golden.py \\
+        tests/golden/experiments_golden.json
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+GOLDEN = REPO_ROOT / "tests" / "golden" / "experiments_golden.json"
+CAPTURE = REPO_ROOT / "tests" / "golden" / "capture_golden.py"
+
+
+def test_all_experiments_match_golden_bytes(tmp_path):
+    output = tmp_path / "captured.json"
+    environment = dict(os.environ, PYTHONHASHSEED="0")
+    environment.pop("PYTHONPATH", None)  # capture script bootstraps itself
+    subprocess.run(
+        [sys.executable, str(CAPTURE), str(output)],
+        check=True, env=environment, cwd=str(tmp_path),
+    )
+    captured = output.read_bytes()
+    golden = GOLDEN.read_bytes()
+    if captured == golden:
+        return
+    # Byte mismatch: diagnose which experiments drifted before failing.
+    captured_doc = json.loads(captured)
+    golden_doc = json.loads(golden)
+    drifted = sorted(
+        name
+        for name in set(captured_doc) | set(golden_doc)
+        if captured_doc.get(name) != golden_doc.get(name)
+    )
+    raise AssertionError(
+        "experiment outputs drifted from tests/golden/experiments_golden"
+        f".json: {drifted or 'encoding-level difference'}"
+    )
+
+
+def test_golden_pin_covers_every_registered_experiment():
+    environment = dict(os.environ, PYTHONHASHSEED="0",
+                       PYTHONPATH=str(REPO_ROOT / "src"))
+    listing = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.harness.registry import all_experiments;"
+         "print('\\n'.join(all_experiments()))"],
+        check=True, env=environment, capture_output=True, text=True,
+    )
+    registered = set(listing.stdout.split())
+    pinned = set(json.loads(GOLDEN.read_text()))
+    assert registered == pinned

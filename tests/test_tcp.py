@@ -201,3 +201,56 @@ class TestTcpProperties:
             stack.close(connection)
         stack.reap_time_wait()
         assert stack.connection_count(TcpState.ESTABLISHED) == 0
+
+
+class TestTimeWaitVirtualTime:
+    """2MSL expiry is driven by the virtual clock, not manual reaping."""
+
+    def _time_wait_connection(self, stack):
+        stack.listen(80)
+        connection = stack.on_ack(stack.on_syn(80, "10.0.0.1", 43210))
+        stack.close(connection)
+        return connection
+
+    def test_time_wait_expires_off_the_clock_without_reap(self):
+        from repro.netstack.tcp import TIME_WAIT_2MSL_NS
+
+        stack = _stack()
+        connection = self._time_wait_connection(stack)
+        assert connection.state is TcpState.TIME_WAIT
+        # No reap_time_wait() anywhere: advancing simulated time past
+        # 2MSL fires the armed deadline and closes the connection.
+        stack.clock.advance(TIME_WAIT_2MSL_NS + 1.0)
+        assert connection.state is TcpState.CLOSED
+        assert stack.connection_count(TcpState.TIME_WAIT) == 0
+        assert stack.time_wait_expired == 1
+
+    def test_time_wait_survives_until_the_deadline(self):
+        from repro.netstack.tcp import TIME_WAIT_2MSL_NS
+
+        stack = _stack()
+        connection = self._time_wait_connection(stack)
+        stack.clock.advance(TIME_WAIT_2MSL_NS / 2)
+        assert connection.state is TcpState.TIME_WAIT
+
+    def test_explicit_reap_still_works_and_cancels_the_timer(self):
+        from repro.netstack.tcp import TIME_WAIT_2MSL_NS
+
+        stack = _stack()
+        connection = self._time_wait_connection(stack)
+        assert stack.reap_time_wait() == 1
+        assert connection.state is TcpState.CLOSED
+        # The armed deadline must not double-fire later.
+        stack.clock.advance(2 * TIME_WAIT_2MSL_NS)
+        assert stack.time_wait_expired == 1
+
+    def test_guest_clock_drives_expiry(self):
+        """A stack bound to a guest clock expires off that guest's time."""
+        from repro.netstack.tcp import TIME_WAIT_2MSL_NS
+        from repro.simcore import VirtualClock
+
+        clock = VirtualClock()
+        stack = _stack(clock=clock)
+        connection = self._time_wait_connection(stack)
+        clock.advance(TIME_WAIT_2MSL_NS + 1.0)
+        assert connection.state is TcpState.CLOSED

@@ -19,6 +19,16 @@
 # resolution work) and regresses the resulting counters against
 # benchmarks/baseline/BENCH_resolve.json.
 #
+# The single-time-authority lint (tools/lint_time.py) enforces the
+# simcore invariant: no simulator advances time through the tracer's sim
+# view or keeps a private clock accumulator field.
+#
+# The fleet gate runs bench-guests --check (the general-policy fleet must
+# boot >= 1000 monitor-checked guests on exactly one shared kernel) and
+# regresses its counters -- including the fleet manifest digest, pinning
+# bit-identical fleet behaviour -- against
+# benchmarks/baseline/BENCH_guests.json.
+#
 # The chaos gate runs the full suite twice under the same seeded fault
 # schedule (repro-lupine chaos) and asserts the resilience invariants:
 # every experiment ends with a definite status, manifest/trace/metrics
@@ -30,6 +40,9 @@
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+echo "==> single-time-authority lint"
+python "$REPO_ROOT/tools/lint_time.py"
 
 echo "==> tier-1 test suite"
 (cd "$REPO_ROOT" && PYTHONPATH=src python -m pytest -q)
@@ -67,6 +80,15 @@ PYTHONPATH=src python -m repro.cli bench-resolve --check \
     --output-dir "$RUN_DIR"
 PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline/BENCH_resolve.json "$RUN_DIR/BENCH_resolve.json" \
+    --no-timings
+
+echo "==> fleet-simulation microbenchmark + counter gate"
+# PYTHONHASHSEED=0: fleet manifests fold floats whose derivation walks
+# set-ordered config options; the pinned digest assumes this hash seed.
+PYTHONHASHSEED=0 PYTHONPATH=src python -m repro.cli bench-guests --check \
+    --output-dir "$RUN_DIR"
+PYTHONPATH=src python -m repro.observe.regress \
+    benchmarks/baseline/BENCH_guests.json "$RUN_DIR/BENCH_guests.json" \
     --no-timings
 
 echo "==> all checks passed"
