@@ -210,7 +210,7 @@ def _cmd_bench_guests(args: argparse.Namespace) -> int:
         write_result,
     )
 
-    result = run_bench()
+    result = run_bench(global_loop=args.global_loop)
     output_dir = (
         pathlib.Path(args.output_dir)
         if args.output_dir is not None else default_output_dir()
@@ -523,7 +523,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--check", action="store_true",
                      help="exit 1 unless the general fleet boots >= 1000 "
                           "monitor-checked guests on exactly one shared "
-                          "kernel and the per-app fleet diversifies")
+                          "kernel, the per-app fleet diversifies, and "
+                          "(with --global-loop) the global event loop "
+                          "reproduces the sequential oracle's manifest "
+                          "digest")
+    sub.add_argument("--global-loop", action="store_true",
+                     help="also run the general fleet as one EventCore "
+                          "event loop (guests interleaved in virtual-time "
+                          "order) and record its guests/sec + manifest "
+                          "digest")
     sub.add_argument("--snapshot", default=None, metavar="PATH",
                      help="also write the result JSON to PATH (e.g. "
                           "benchmarks/baseline/BENCH_guests.json)")

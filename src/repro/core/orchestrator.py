@@ -70,6 +70,10 @@ class Fleet:
             for name, unikernel in self.guests.items()
         }
 
+    #: Requests served per chunk when the global event loop interleaves
+    #: guests (chunking is bit-exact; see LinuxServerStack.serve_chunk).
+    SERVE_CHUNK = 8
+
     @classmethod
     def simulate(
         cls,
@@ -78,6 +82,7 @@ class Fleet:
         seed: int = 0,
         requests_per_guest: int = 32,
         kml: bool = True,
+        global_loop: bool = False,
     ) -> "FleetSimulation":
         """Boot and drive *count* guests under *policy*; fully deterministic.
 
@@ -86,10 +91,21 @@ class Fleet:
         unified :class:`~repro.simcore.guest.Guest` lifecycle -- full
         Figure 2 image pipeline, boot, then *requests_per_guest* requests
         of the app's workload profile -- each on its own virtual clock.
-        The same *seed* always yields a byte-identical manifest.
+        Kernels come from :meth:`KernelOrchestrator.unikernel_for`, so
+        the per-app memo is live and ``build_count`` lands in the
+        manifest.  The same *seed* always yields a byte-identical
+        manifest.
+
+        ``global_loop=True`` runs the fleet as **one event loop**: every
+        guest registers with a :class:`~repro.simcore.eventcore.EventCore`
+        and the core interleaves lifecycle stages across guests in
+        virtual-time order, fast-forwarding idle guests in closed form.
+        Per-guest outcomes depend only on each guest's own clock, so the
+        manifest digest is byte-identical to the sequential path -- the
+        sequential path *is* the differential oracle, asserted by tests
+        and the ``bench-guests --global-loop`` gate.
         """
         from repro.apps.registry import top20_in_popularity_order
-        from repro.simcore.guest import Guest, GuestSpec
 
         if count < 1:
             raise ValueError("a fleet needs at least one guest")
@@ -99,15 +115,63 @@ class Fleet:
         drawn = rng.choices(
             apps, weights=[app.downloads_billions for app in apps], k=count
         )
+        if global_loop:
+            entries, core_stats = cls._simulate_global(
+                orchestrator, drawn, requests_per_guest
+            )
+        else:
+            entries = cls._simulate_sequential(
+                orchestrator, drawn, requests_per_guest
+            )
+            core_stats = None
+        return FleetSimulation(
+            policy=policy, seed=seed, count=count, entries=entries,
+            build_count=orchestrator.build_count,
+            eventcore_stats=core_stats,
+        )
+
+    @classmethod
+    def _guest_spec(cls, orchestrator: "KernelOrchestrator", index: int,
+                    app: Application):
+        from repro.simcore.guest import GuestSpec
+
+        return GuestSpec(
+            name=f"guest-{index:05d}",
+            variant=orchestrator.variant_for(app),
+            app=app.name,
+            full_image=True,
+        )
+
+    @staticmethod
+    def _entry_for(guest, app: Application, boot_ms: float, requests: int,
+                   rps: Optional[float]) -> "GuestManifestEntry":
+        return GuestManifestEntry(
+            guest=guest.spec.name,
+            app=app.name,
+            kernel=guest.kernel.config.name,
+            fingerprint=guest.kernel.fingerprint,
+            boot_ms=boot_ms,
+            uptime_ns=guest.uptime_ns,
+            requests=requests,
+            rps=rps,
+        )
+
+    @classmethod
+    def _simulate_sequential(
+        cls,
+        orchestrator: "KernelOrchestrator",
+        drawn: List[Application],
+        requests_per_guest: int,
+    ) -> List["GuestManifestEntry"]:
+        """The sequential differential oracle: one guest at a time."""
+        from repro.simcore.guest import Guest
+
         entries: List[GuestManifestEntry] = []
         for index, app in enumerate(drawn):
-            spec = GuestSpec(
-                name=f"guest-{index:05d}",
-                variant=orchestrator._variant_for(app),
-                app=app.name,
-                full_image=True,
-            )
-            guest = Guest(spec).build()
+            spec = cls._guest_spec(orchestrator, index, app)
+            guest = Guest(
+                spec, unikernel=orchestrator.unikernel_for(app)
+            ).build()
             boot_ms = guest.boot().total_ms
             profile = _workload_profile(app.name)
             requests, rps = 0, None
@@ -115,19 +179,57 @@ class Fleet:
                 requests = requests_per_guest
                 rps = guest.serve(profile, requests)
             guest.shutdown()
-            entries.append(GuestManifestEntry(
-                guest=spec.name,
-                app=app.name,
-                kernel=guest.kernel.config.name,
-                fingerprint=guest.kernel.fingerprint,
-                boot_ms=boot_ms,
-                uptime_ns=guest.uptime_ns,
-                requests=requests,
-                rps=rps,
-            ))
-        return FleetSimulation(
-            policy=policy, seed=seed, count=count, entries=entries
-        )
+            entries.append(
+                cls._entry_for(guest, app, boot_ms, requests, rps)
+            )
+        return entries
+
+    @classmethod
+    def _simulate_global(
+        cls,
+        orchestrator: "KernelOrchestrator",
+        drawn: List[Application],
+        requests_per_guest: int,
+    ):
+        """Run the fleet as one event loop on a global EventCore."""
+        from repro.simcore.eventcore import EventCore, drain_deadlines
+        from repro.simcore.guest import Guest
+
+        core = EventCore()
+        results: Dict[int, GuestManifestEntry] = {}
+
+        def _program(index: int, app: Application, guest: "Guest"):
+            guest.build()
+            yield None  # BUILT; boots interleave from virtual zero
+            boot_ms = guest.boot().total_ms
+            yield None  # BOOTED; serving orders by boot-staggered clocks
+            profile = _workload_profile(app.name)
+            requests, rps = 0, None
+            if profile is not None and guest.netpath is not None:
+                requests = requests_per_guest
+                rps = yield from guest.serve_chunks(
+                    profile, requests, chunk_size=cls.SERVE_CHUNK
+                )
+            # Park on any armed deadline so the core fast-forwards this
+            # guest in closed form, then retire (shutdown re-drains as a
+            # no-op, keeping uptime identical to the sequential oracle).
+            yield from drain_deadlines(guest.clock)
+            guest.shutdown()
+            results[index] = cls._entry_for(
+                guest, app, boot_ms, requests, rps
+            )
+
+        for index, app in enumerate(drawn):
+            spec = cls._guest_spec(orchestrator, index, app)
+            guest = Guest(
+                spec,
+                clock=core.clock_for(spec.name),
+                unikernel=orchestrator.unikernel_for(app),
+            )
+            core.spawn(spec.name, _program(index, app, guest))
+        stats = core.run()
+        entries = [results[index] for index in range(len(drawn))]
+        return entries, stats
 
 
 #: Which serving profile each registry app exercises in a fleet run.
@@ -171,12 +273,25 @@ class GuestManifestEntry:
 
 @dataclass
 class FleetSimulation:
-    """The deterministic outcome of one :meth:`Fleet.simulate` run."""
+    """The deterministic outcome of one :meth:`Fleet.simulate` run.
+
+    The manifest is execution-strategy-independent: a global-loop run and
+    a sequential run of the same (seed, policy, count) serialize to the
+    same bytes.  ``eventcore_stats`` (populated only by global-loop runs)
+    is therefore deliberately *outside* the manifest -- it describes how
+    the fleet was executed, not what it did.
+    """
 
     policy: KernelPolicy
     seed: int
     count: int
     entries: List[GuestManifestEntry] = field(default_factory=list)
+    #: Distinct kernel configurations the orchestrator materialized
+    #: (KernelOrchestrator.build_count; equals distinct_kernels when the
+    #: whole fleet was built through the orchestrator's memo).
+    build_count: int = 0
+    #: EventCoreStats of the global loop (None for sequential runs).
+    eventcore_stats: Optional[object] = None
 
     @property
     def distinct_kernels(self) -> int:
@@ -197,6 +312,7 @@ class FleetSimulation:
             "seed": self.seed,
             "count": self.count,
             "distinct_kernels": self.distinct_kernels,
+            "build_count": self.build_count,
             "guests": [
                 {
                     "guest": entry.guest,
@@ -240,7 +356,13 @@ class KernelOrchestrator:
     _kernel_fingerprints: Set[str] = field(default_factory=set)
     build_count: int = 0
 
-    def _variant_for(self, app: Application) -> Variant:
+    def variant_for(self, app: Application) -> Variant:
+        """Which kernel variant *app* gets under this policy.
+
+        The public policy surface: fleet code (``Fleet.simulate``) and
+        callers assembling :class:`~repro.simcore.guest.GuestSpec`\\ s use
+        this rather than reaching into policy internals.
+        """
         if self.policy is KernelPolicy.PER_APP:
             specialized = True
         elif self.policy is KernelPolicy.GENERAL:
@@ -254,16 +376,19 @@ class KernelOrchestrator:
         return (Variant.LUPINE_GENERAL if self.kml
                 else Variant.LUPINE_GENERAL_NOKML)
 
+    #: Backward-compatible alias (pre-fleet callers used the private name).
+    _variant_for = variant_for
+
     def _cache_key(self, app: Application) -> str:
         """The kernel cache key for *app*: its resolved config fingerprint."""
-        return variant_fingerprint(self._variant_for(app), app)
+        return variant_fingerprint(self.variant_for(app), app)
 
     def unikernel_for(self, app: Application) -> LupineUnikernel:
         """Get (building if necessary) the unikernel for *app*."""
         if app.name in self._unikernels:
             return self._unikernels[app.name]
         fingerprint = self._cache_key(app)
-        builder = LupineBuilder(variant=self._variant_for(app))
+        builder = LupineBuilder(variant=self.variant_for(app))
         unikernel = builder.build_for_app(app)
         self._unikernels[app.name] = unikernel
         if fingerprint not in self._kernel_fingerprints:

@@ -109,11 +109,25 @@ class TimerWheel:
         moves the guest's clock (syscalls, boot phases, TCP charges)
         implicitly ticks the kernel's timer subsystem -- the HZ-granular
         view of the same timeline.  Returns the wheel for chaining.
+
+        Rebase semantics: a non-forward move (backward ``jump_to``, the
+        legacy ``clock_ns = 0.0`` reset idiom) cannot un-fire timers, so
+        the wheel re-anchors -- the current tick count maps to the new
+        ``now`` and subsequent forward time ticks from there.  Without
+        this the wheel kept a stale tick base and went silent until the
+        clock re-crossed its old high-water mark.
         """
         base_tick = self.current_tick
         base_ns = clock.now_ns
+        last_ns = clock.now_ns
 
         def _sync(now_ns: float) -> None:
+            nonlocal base_tick, base_ns, last_ns
+            if now_ns < last_ns:
+                # Backward rebase: anchor the present tick to the new now.
+                base_tick = self.current_tick
+                base_ns = now_ns
+            last_ns = now_ns
             target = base_tick + int((now_ns - base_ns) // self.tick_ns)
             if target > self.current_tick:
                 self.advance(target - self.current_tick)

@@ -1,6 +1,6 @@
 """simcore: the unified guest runtime on a single virtual-time core.
 
-Two pieces:
+Three pieces:
 
 - :mod:`repro.simcore.clock` / :mod:`repro.simcore.context` -- the
   per-guest :class:`VirtualClock` (ns resolution, monotonic, deadline
@@ -9,7 +9,11 @@ Two pieces:
 - :mod:`repro.simcore.guest` -- the :class:`Guest` lifecycle object
   (``GuestSpec -> build -> boot -> serve -> shutdown``) composing
   monitor, kernel image, syscall engine, network path, scheduler and
-  workload around one clock.
+  workload around one clock;
+- :mod:`repro.simcore.eventcore` -- the fleet-wide :class:`EventCore`
+  merging every guest's deadline queue into one global heap and
+  interleaving guests in virtual-time order (``Fleet.simulate``'s
+  global loop), with idle guests fast-forwarded in closed form.
 
 ``guest`` is exported lazily (PEP 562): it imports the build pipeline
 and observability layers, which themselves import ``simcore.clock``, so
@@ -23,6 +27,12 @@ from __future__ import annotations
 
 from repro.simcore.clock import ClockError, ScheduledEvent, VirtualClock
 from repro.simcore.context import current_clock, default_clock, use_clock
+from repro.simcore.eventcore import (
+    EventCore,
+    EventCoreError,
+    EventCoreStats,
+    drain_deadlines,
+)
 
 _LAZY = (
     "Guest",
@@ -45,10 +55,14 @@ def __getattr__(name: str):
 
 __all__ = [
     "ClockError",
+    "EventCore",
+    "EventCoreError",
+    "EventCoreStats",
     "ScheduledEvent",
     "VirtualClock",
     "current_clock",
     "default_clock",
+    "drain_deadlines",
     "use_clock",
     *_LAZY,
 ]

@@ -7,7 +7,14 @@ Boots and serves whole fleets through :meth:`Fleet.simulate
 - ``fleet_general`` -- :data:`GENERAL_GUESTS` guests sharing one
   ``lupine-general`` kernel (the paper's recommended deployment);
 - ``fleet_per_app`` -- :data:`PER_APP_GUESTS` guests on per-app
-  specialized kernels (maximum specialization, maximum builds).
+  specialized kernels (maximum specialization, maximum builds);
+- ``fleet_general_global`` (``--global-loop``) -- the general fleet
+  again, but run as **one event loop** on the fleet-wide
+  :class:`~repro.simcore.eventcore.EventCore`: same seed, same guests,
+  interleaved in virtual-time order.  Its manifest digest must equal
+  ``fleet_general``'s -- the sequential run is the differential oracle
+  -- which ``check_result`` asserts, alongside a guests/sec gauge for
+  the global loop.
 
 Nothing reported is wall-clock.  Boot and resolver work are counter
 deltas (``boot.boots``, ``kconfig.resolve.*``, ``vmm.guest_checks``);
@@ -48,6 +55,8 @@ _WORK_COUNTERS = (
     "kconfig.resolve.visited_options",
     "kconfig.resolve.cache_hits",
     "kconfig.resolve.cache_misses",
+    "eventcore.events_dispatched",
+    "eventcore.guests_fast_forwarded",
 )
 
 
@@ -61,8 +70,13 @@ def _measure(fn: Callable[[], None]) -> Dict[str, int]:
     }
 
 
-def run_bench() -> Dict[str, Any]:
-    """Run every scenario and return the metrics-shaped result document."""
+def run_bench(global_loop: bool = False) -> Dict[str, Any]:
+    """Run every scenario and return the metrics-shaped result document.
+
+    ``global_loop=True`` adds the ``fleet_general_global`` scenario: the
+    general fleet executed as one EventCore loop, whose manifest digest
+    must match the sequential ``fleet_general`` oracle.
+    """
     from repro.core.buildcache import BUILD_CACHE
     from repro.core.orchestrator import Fleet, KernelPolicy
     from repro.kconfig.rescache import RESOLUTION_CACHE
@@ -73,10 +87,15 @@ def run_bench() -> Dict[str, Any]:
     BUILD_CACHE.reset()
     RESOLUTION_CACHE.reset()
 
-    scenarios = (
-        ("fleet_general", KernelPolicy.GENERAL, GENERAL_GUESTS),
-        ("fleet_per_app", KernelPolicy.PER_APP, PER_APP_GUESTS),
-    )
+    scenarios = [
+        ("fleet_general", KernelPolicy.GENERAL, GENERAL_GUESTS, False),
+        ("fleet_per_app", KernelPolicy.PER_APP, PER_APP_GUESTS, False),
+    ]
+    if global_loop:
+        scenarios.append(
+            ("fleet_general_global", KernelPolicy.GENERAL,
+             GENERAL_GUESTS, True),
+        )
     sections: Dict[str, Dict[str, int]] = {}
     gauges: Dict[str, float] = {}
     counters: Dict[str, int] = {}
@@ -84,11 +103,12 @@ def run_bench() -> Dict[str, Any]:
     tick = TickClock(step_us=1000.0)
     TRACER.clock = tick
     try:
-        for section, policy, count in scenarios:
+        for section, policy, count, use_global in scenarios:
             box: List[Any] = []
             tick_before = tick._now
             sections[section] = _measure(lambda: box.append(
-                Fleet.simulate(count, policy=policy, seed=FLEET_SEED)
+                Fleet.simulate(count, policy=policy, seed=FLEET_SEED,
+                               global_loop=use_global)
             ))
             tick_elapsed_s = (tick._now - tick_before) / 1e6
             simulation = box[0]
@@ -101,12 +121,20 @@ def run_bench() -> Dict[str, Any]:
             gauges[f"fleet.distinct_kernels.{section}"] = float(
                 simulation.distinct_kernels
             )
+            gauges[f"fleet.build_count.{section}"] = float(
+                simulation.build_count
+            )
             gauges[f"fleet.requests.{section}"] = float(
                 simulation.total_requests
             )
             gauges[f"fleet.guests_per_tick_sec.{section}"] = round(
                 count / tick_elapsed_s, 2
             )
+            if simulation.eventcore_stats is not None:
+                stats = simulation.eventcore_stats
+                gauges[f"eventcore.heap_high_water.{section}"] = float(
+                    stats.heap_high_water
+                )
     finally:
         TRACER.clock = host_clock
 
@@ -148,6 +176,38 @@ def check_result(result: Dict[str, Any]) -> List[str]:
         )
     if counters.get("fleet.manifest_digest48.fleet_general", 0) <= 0:
         failures.append("general fleet manifest digest missing")
+    for section in ("fleet_general", "fleet_per_app"):
+        builds = gauges.get(f"fleet.build_count.{section}")
+        kernels = gauges.get(f"fleet.distinct_kernels.{section}")
+        if builds != kernels:
+            failures.append(
+                f"{section} reported build_count {builds:g} != "
+                f"distinct_kernels {kernels:g}; the fleet must build "
+                "through the orchestrator's kernel memo"
+            )
+    if "fleet.guests.fleet_general_global" in gauges:
+        sequential = counters.get(
+            "fleet.manifest_digest48.fleet_general", 0
+        )
+        interleaved = counters.get(
+            "fleet.manifest_digest48.fleet_general_global", -1
+        )
+        if interleaved != sequential:
+            failures.append(
+                "global event loop diverged from the sequential oracle: "
+                f"manifest digest48 {interleaved:012x} != {sequential:012x}"
+            )
+        if gauges.get(
+            "fleet.guests_per_tick_sec.fleet_general_global", 0.0
+        ) <= 0.0:
+            failures.append("global-loop guests/sec gauge missing or zero")
+        if counters.get(
+            "eventcore.events_dispatched.fleet_general_global", 0
+        ) < GENERAL_GUESTS:
+            failures.append(
+                "global loop dispatched fewer events than guests; the "
+                "fleet cannot have run through the EventCore"
+            )
     return failures
 
 
@@ -161,13 +221,17 @@ def write_result(result: Dict[str, Any], path: pathlib.Path) -> None:
 def render_summary(result: Dict[str, Any]) -> str:
     """Human-readable scenario table for the CLI."""
     counters, gauges = result["counters"], result["gauges"]
+    sections = sorted(
+        key[len("fleet.guests."):]
+        for key in gauges if key.startswith("fleet.guests.")
+    )
     lines = [
-        f"{'scenario':<14} {'guests':>7} {'kernels':>8} "
+        f"{'scenario':<21} {'guests':>7} {'kernels':>8} "
         f"{'resolutions':>11} {'guests/tick-s':>13}"
     ]
-    for section in ("fleet_general", "fleet_per_app"):
+    for section in sections:
         lines.append(
-            f"{section:<14} "
+            f"{section:<21} "
             f"{int(gauges[f'fleet.guests.{section}']):>7} "
             f"{int(gauges[f'fleet.distinct_kernels.{section}']):>8} "
             f"{counters[f'kconfig.resolutions.{section}']:>11} "
@@ -175,4 +239,13 @@ def render_summary(result: Dict[str, Any]) -> str:
         )
     digest = counters["fleet.manifest_digest48.fleet_general"]
     lines.append(f"general-fleet manifest digest48: {digest:012x}")
+    if "fleet.manifest_digest48.fleet_general_global" in counters:
+        dispatched = counters.get(
+            "eventcore.events_dispatched.fleet_general_global", 0
+        )
+        lines.append(
+            "global loop: digest matches oracle: "
+            f"{counters['fleet.manifest_digest48.fleet_general_global'] == digest}"
+            f", events dispatched: {dispatched}"
+        )
     return "\n".join(lines)

@@ -41,22 +41,34 @@ class ClockError(ValueError):
 
 
 class ScheduledEvent:
-    """One pending deadline on a :class:`VirtualClock`."""
+    """One pending deadline on a :class:`VirtualClock`.
 
-    __slots__ = ("deadline_ns", "seq", "callback", "cancelled")
+    Lifecycle: *pending* -> *fired* (dispatched by the clock) or
+    *cancelled* (by the holder), never both.  ``cancel()`` after dispatch
+    returns ``False`` -- the callback has already run, so callers must
+    not believe they prevented it.
+    """
+
+    __slots__ = ("deadline_ns", "seq", "callback", "cancelled", "fired",
+                 "_clock")
 
     def __init__(self, deadline_ns: float, seq: int,
-                 callback: Optional[Callable[[], None]]) -> None:
+                 callback: Optional[Callable[[], None]],
+                 clock: Optional["VirtualClock"] = None) -> None:
         self.deadline_ns = deadline_ns
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.fired = False
+        self._clock = clock
 
     def cancel(self) -> bool:
         """Cancel the event; returns False if it already fired/cancelled."""
-        if self.cancelled:
+        if self.cancelled or self.fired:
             return False
         self.cancelled = True
+        if self._clock is not None:
+            self._clock._note_cancelled()
         return True
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
@@ -71,12 +83,18 @@ class VirtualClock:
     the clock sits exactly on the event's deadline.
     """
 
+    #: Heap-compaction floor: cancelled entries are swept out only once the
+    #: queue is at least this large *and* more than half cancelled
+    #: (asyncio-style), so tiny queues never pay repeated heapify costs.
+    COMPACT_MIN_EVENTS = 64
+
     def __init__(self, start_ns: float = 0.0) -> None:
         self._lock = threading.RLock()
         self._now_ns = float(start_ns)
         self._events: List[ScheduledEvent] = []
         self._seq = itertools.count()
         self._listeners: List[Callable[[float], None]] = []
+        self._cancelled_count = 0
 
     # -- reading -----------------------------------------------------------
 
@@ -93,7 +111,19 @@ class VirtualClock:
     @property
     def pending_events(self) -> int:
         with self._lock:
-            return sum(1 for e in self._events if not e.cancelled)
+            return len(self._events) - self._cancelled_count
+
+    def next_deadline_ns(self) -> Optional[float]:
+        """The earliest pending (non-cancelled) deadline, or None.
+
+        The closed-form fast-forward hook: an idle guest's next event is
+        this instant, so the fleet event core can land on it with one
+        ``advance_to`` instead of stepping (see
+        :mod:`repro.simcore.eventcore`).
+        """
+        with self._lock:
+            self._skim_cancelled()
+            return self._events[0].deadline_ns if self._events else None
 
     # -- advancing ---------------------------------------------------------
 
@@ -130,19 +160,29 @@ class VirtualClock:
         Forward jumps behave like :meth:`advance_to` (due events fire);
         backward jumps rebase the accumulator administratively -- the
         legacy ``engine.clock_ns = 0.0`` reset idiom -- leaving pending
-        events armed at their absolute deadlines.
+        events armed at their absolute deadlines.  Listeners are notified
+        of the rebase (with the new now) exactly as they are of forward
+        moves, so a bound :class:`~repro.sched.timers.TimerWheel`
+        re-anchors its tick base instead of keeping a stale one.
         """
         with self._lock:
             if value_ns < self._now_ns:
                 self._now_ns = float(value_ns)
+                self._notify(self._now_ns)
                 return self._now_ns
             return self._run_to(value_ns)
 
     def reset(self) -> None:
-        """Rewind to zero and drop all pending events (test isolation)."""
+        """Rewind to zero and drop all pending events (test isolation).
+
+        Listeners stay registered and observe the rebase to 0.0 -- the
+        same rebase semantics as a backward :meth:`jump_to`.
+        """
         with self._lock:
             self._now_ns = 0.0
             self._events.clear()
+            self._cancelled_count = 0
+            self._notify(0.0)
 
     # -- deadlines ---------------------------------------------------------
 
@@ -156,7 +196,9 @@ class VirtualClock:
                     f"deadline {deadline_ns} is in the past "
                     f"(now {self._now_ns})"
                 )
-            event = ScheduledEvent(deadline_ns, next(self._seq), callback)
+            event = ScheduledEvent(
+                deadline_ns, next(self._seq), callback, clock=self
+            )
             heapq.heappush(self._events, event)
         return event
 
@@ -197,10 +239,13 @@ class VirtualClock:
         statements.  Callbacks may re-enter the clock from this thread.
         """
         while True:
-            while self._events and self._events[0].cancelled:
-                heapq.heappop(self._events)
+            self._skim_cancelled()
             if self._events and self._events[0].deadline_ns <= target_ns:
                 event = heapq.heappop(self._events)
+                # Mark *before* the callback runs: a cancel() from inside
+                # the callback (or any later one) must report False -- the
+                # event has been dispatched.
+                event.fired = True
                 # The callback observes the clock *at* its deadline.
                 self._now_ns = event.deadline_ns
                 if event.callback is not None:
@@ -208,6 +253,34 @@ class VirtualClock:
             else:
                 self._now_ns = target_ns
                 break
-        for listener in list(self._listeners):
-            listener(target_ns)
+        self._notify(target_ns)
         return target_ns
+
+    def _notify(self, now_ns: float) -> None:
+        """Tell every listener the clock now reads *now_ns*."""
+        for listener in list(self._listeners):
+            listener(now_ns)
+
+    def _skim_cancelled(self) -> None:
+        """Drop cancelled events sitting at the top of the heap."""
+        while self._events and self._events[0].cancelled:
+            heapq.heappop(self._events)
+            self._cancelled_count -= 1
+
+    def _note_cancelled(self) -> None:
+        """Bookkeep one cancellation; compact when the heap is mostly dead.
+
+        Cancelled events used to linger until their deadline was reached
+        -- cancelled 2MSL timers from fast TCP closes accumulated for a
+        whole run.  asyncio-style: once cancelled entries exceed half of
+        a non-trivial queue, rebuild the heap from the live entries.
+        """
+        with self._lock:
+            self._cancelled_count += 1
+            if (len(self._events) >= self.COMPACT_MIN_EVENTS
+                    and self._cancelled_count * 2 > len(self._events)):
+                self._events = [
+                    e for e in self._events if not e.cancelled
+                ]
+                heapq.heapify(self._events)
+                self._cancelled_count = 0

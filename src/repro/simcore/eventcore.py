@@ -1,0 +1,221 @@
+"""The fleet-wide event core: one global heap over every guest timeline.
+
+``Fleet.simulate`` used to drive guests strictly one at a time, each on
+its own :class:`~repro.simcore.clock.VirtualClock` -- cross-guest
+causality (shared-host contention, staggered boots, correlated fault
+schedules) was unrepresentable because there was no global order between
+two guests' events.  :class:`EventCore` merges every registered guest's
+deadline queue into one heap and dispatches guests in **virtual-time
+order**: at every step the runnable guest with the smallest virtual
+instant runs its next lifecycle stage.  Events across the whole fleet
+now have a single well-defined global order (ties broken by dispatch
+sequence number, so runs are deterministic).
+
+Guest programs
+--------------
+
+A guest registers as a *program*: a generator whose ``next()`` runs one
+lifecycle stage (build, boot, a chunk of serving, a drain step) and
+advances the guest's own clock.  The yielded value tells the core when
+the guest is next runnable:
+
+- ``yield None`` -- runnable immediately, at the guest's current virtual
+  instant (CPU-bound stages: the next serve chunk);
+- ``yield deadline_ns`` -- **idle** until an armed virtual deadline (a
+  2MSL timer, a sleep).  The core parks the guest at that absolute
+  instant in the global heap, and when it becomes the earliest event
+  fast-forwards the guest's clock there **in closed form** -- one
+  ``advance_to``, firing the due events, never stepping.  This is the
+  ``invoke_batch`` fold applied *across* guests: within a guest, batched
+  serving folds a whole jitter period in one call; across guests, idle
+  time folds into one jump.
+
+Determinism: the heap is keyed ``(virtual_ns, seq)`` with ``seq`` a
+monotone counter, programs run on one thread, and every per-guest
+outcome depends only on that guest's own clock -- so a fleet run under
+the global loop produces byte-identical per-guest results to the
+sequential oracle (asserted by tests and the ``bench-guests
+--global-loop`` gate).
+
+Fault injection: each dispatch is a :func:`~repro.faults.plane.fault_site`
+(``eventcore.dispatch``) entered inside the dispatched guest's clock
+scope, so a correlated cross-guest fault schedule has a well-defined
+global order and an injected hang advances exactly the afflicted
+guest's timeline.
+
+Clock discipline: fleet code paths must not construct
+:class:`VirtualClock` directly -- guests obtain their clock from
+:meth:`EventCore.clock_for` (enforced by ``tools/lint_time.py``'s
+``no-direct-clock-in-fleet`` rule), so every fleet timeline is
+registered with, and order-visible to, the core.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.simcore.clock import VirtualClock
+
+#: A guest lifecycle program: ``next()`` runs one stage; yields ``None``
+#: (runnable now) or an absolute virtual deadline (idle until then).
+GuestProgram = Generator[Optional[float], None, None]
+
+
+class EventCoreError(RuntimeError):
+    """Invalid event-core operations (duplicate guests, time reversal)."""
+
+
+@dataclass
+class _Runner:
+    """One registered guest: its clock plus its lifecycle program."""
+
+    name: str
+    clock: VirtualClock
+    program: GuestProgram
+    done: bool = False
+
+
+@dataclass
+class EventCoreStats:
+    """Counters one :meth:`EventCore.run` produced (manifest-external)."""
+
+    events_dispatched: int = 0
+    guests_fast_forwarded: int = 0
+    heap_high_water: int = 0
+    guests: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "events_dispatched": self.events_dispatched,
+            "guests_fast_forwarded": self.guests_fast_forwarded,
+            "heap_high_water": self.heap_high_water,
+            "guests": self.guests,
+        }
+
+
+@dataclass
+class EventCore:
+    """The global event loop for a fleet of guests.
+
+    Usage::
+
+        core = EventCore()
+        for spec in specs:
+            guest = Guest(spec, clock=core.clock_for(spec.name))
+            core.spawn(spec.name, lifecycle_program(guest))
+        core.run()
+
+    One core = one fleet = one global virtual-order; cores are
+    single-threaded and not reusable across fleets (register a fresh one
+    per run, like a fresh heap per simulation).
+    """
+
+    start_ns: float = 0.0
+    _clocks: Dict[str, VirtualClock] = field(default_factory=dict)
+    _runners: Dict[str, _Runner] = field(default_factory=dict)
+    _heap: List[Tuple[float, int, "_Runner"]] = field(default_factory=list)
+    _seq: "itertools.count" = field(default_factory=itertools.count)
+    stats: EventCoreStats = field(default_factory=EventCoreStats)
+
+    # -- registration ------------------------------------------------------
+
+    def clock_for(self, name: str) -> VirtualClock:
+        """The virtual clock for guest *name* (created on first use).
+
+        Fleet code obtains guest clocks exclusively through this method
+        -- the lint forbids direct ``VirtualClock()`` construction in
+        fleet paths -- so every timeline the fleet runs on is known to
+        the core.
+        """
+        if name not in self._clocks:
+            self._clocks[name] = VirtualClock(self.start_ns)
+        return self._clocks[name]
+
+    def spawn(self, name: str, program: GuestProgram) -> None:
+        """Register guest *name*'s lifecycle *program* with the core."""
+        if name in self._runners:
+            raise EventCoreError(f"guest {name!r} already registered")
+        runner = _Runner(name=name, clock=self.clock_for(name),
+                         program=program)
+        self._runners[name] = runner
+        self.stats.guests += 1
+        self._push(runner.clock.now_ns, runner)
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self) -> EventCoreStats:
+        """Dispatch the merged heap until every program completes.
+
+        Returns (and publishes to the metrics registry) the per-core
+        counters: events dispatched, guests fast-forwarded in closed
+        form, and the heap's high-water mark.
+        """
+        from repro.faults.plane import fault_site
+        from repro.simcore.context import use_clock
+
+        while self._heap:
+            key_ns, _, runner = heapq.heappop(self._heap)
+            self.stats.events_dispatched += 1
+            if key_ns > runner.clock.now_ns:
+                # Idle guest whose parked deadline is now the earliest
+                # fleet event: land on it in one closed-form jump (due
+                # events fire inside advance_to).
+                self.stats.guests_fast_forwarded += 1
+                runner.clock.advance_to(key_ns)
+            try:
+                with use_clock(runner.clock):
+                    with fault_site("eventcore.dispatch"):
+                        idle_until = next(runner.program)
+            except StopIteration:
+                runner.done = True
+                continue
+            next_key = (runner.clock.now_ns if idle_until is None
+                        else float(idle_until))
+            if next_key < runner.clock.now_ns:
+                raise EventCoreError(
+                    f"guest {runner.name!r} yielded deadline {next_key} "
+                    f"behind its own clock ({runner.clock.now_ns})"
+                )
+            self._push(next_key, runner)
+        self._publish()
+        return self.stats
+
+    # -- internals ---------------------------------------------------------
+
+    def _push(self, key_ns: float, runner: _Runner) -> None:
+        heapq.heappush(self._heap, (key_ns, next(self._seq), runner))
+        if len(self._heap) > self.stats.heap_high_water:
+            self.stats.heap_high_water = len(self._heap)
+
+    def _publish(self) -> None:
+        # Imported here: repro.observe imports simcore (clock/context),
+        # so a module-level import would cycle.
+        from repro.observe import METRICS
+
+        METRICS.counter("eventcore.events_dispatched").inc(
+            self.stats.events_dispatched
+        )
+        METRICS.counter("eventcore.guests_fast_forwarded").inc(
+            self.stats.guests_fast_forwarded
+        )
+        METRICS.gauge("eventcore.heap_high_water").set(
+            float(self.stats.heap_high_water)
+        )
+
+
+def drain_deadlines(clock: VirtualClock) -> GuestProgram:
+    """A program fragment parking a guest on each pending deadline in turn.
+
+    ``yield from drain_deadlines(guest.clock)`` at the end of a lifecycle
+    program retires the guest only after its armed timers (2MSL, ...)
+    have fired, with every wait going through the global heap so the core
+    fast-forwards it in closed form.
+    """
+    while True:
+        deadline = clock.next_deadline_ns()
+        if deadline is None:
+            return
+        yield deadline

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.boot.phases import RootfsKind
 from repro.simcore.clock import VirtualClock
@@ -72,12 +72,16 @@ class Guest:
     """One simulated guest on its own virtual timeline."""
 
     def __init__(self, spec: GuestSpec,
-                 clock: Optional[VirtualClock] = None) -> None:
+                 clock: Optional[VirtualClock] = None,
+                 unikernel=None) -> None:
         self.spec = spec
         self.clock = clock if clock is not None else VirtualClock()
         self.state = GuestState.CREATED
         self.kernel = None          # VariantBuild | MicrovmBuild
-        self.unikernel = None       # LupineUnikernel when full_image
+        #: Prebuilt LupineUnikernel (full_image fleets route builds
+        #: through KernelOrchestrator.unikernel_for, so the per-app memo
+        #: and build_count stay live); built on demand otherwise.
+        self.unikernel = unikernel
         self.engine = None
         self.scheduler = None
         self.netpath = None
@@ -100,15 +104,16 @@ class Guest:
         if self.spec.variant is None:
             self.kernel = build_microvm()
         elif self.spec.full_image:
-            from repro.core.lupine import LupineBuilder
-
             if app is None:
                 raise GuestLifecycleError(
                     f"guest {self.spec.name}: full_image needs an app"
                 )
-            self.unikernel = LupineBuilder(
-                variant=self.spec.variant
-            ).build_for_app(app)
+            if self.unikernel is None:
+                from repro.core.lupine import LupineBuilder
+
+                self.unikernel = LupineBuilder(
+                    variant=self.spec.variant
+                ).build_for_app(app)
             self.kernel = self.unikernel.build
         else:
             self.kernel = build_variant(self.spec.variant, app)
@@ -170,10 +175,55 @@ class Guest:
         self.requests_served += requests
         return rate
 
+    def serve_chunks(self, profile, requests: int,
+                     chunk_size: int = 8) -> "Iterator[float]":
+        """Incremental :meth:`serve`: yield after every *chunk_size* requests.
+
+        The fleet's global event loop drives this generator so guests
+        interleave in virtual-time order between chunks.  The generator's
+        return value (``StopIteration.value``) is the same rps -- to the
+        bit -- that ``serve(profile, requests)`` computes: ``invoke_batch``
+        folds element-wise over the engine's running accumulator, so any
+        chunking of the same request count replays the identical
+        additions (see :meth:`LinuxServerStack.serve_chunk
+        <repro.workloads.server.LinuxServerStack.serve_chunk>`).
+
+        Each yield carries the guest's current virtual instant.
+        """
+        if self.state not in (GuestState.BUILT, GuestState.BOOTED):
+            raise GuestLifecycleError(
+                f"guest {self.spec.name}: cannot serve while {self.state.value}"
+            )
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        stack = self.server_stack
+        start = stack.engine.clock_ns
+        remaining = requests
+        while remaining > 0:
+            step = chunk_size if chunk_size < remaining else remaining
+            with use_clock(self.clock):
+                stack.serve_chunk(profile, step)
+            remaining -= step
+            yield self.clock.now_ns
+        self.requests_served += requests
+        elapsed_s = (stack.engine.clock_ns - start) / 1e9
+        return requests / elapsed_s
+
     def shutdown(self) -> None:
-        """Retire the guest; its clock stops accepting lifecycle work."""
+        """Retire the guest; its clock stops accepting lifecycle work.
+
+        Pending virtual deadlines (2MSL timers, armed sleeps) are drained
+        first -- the clock lands on each in turn and fires it -- so a
+        guest's uptime always covers every event it armed, identically
+        in the sequential and global-loop fleet paths.
+        """
         if self.state is GuestState.SHUTDOWN:
             return
+        while True:
+            deadline = self.clock.next_deadline_ns()
+            if deadline is None:
+                break
+            self.clock.advance_to(deadline)
         self.state = GuestState.SHUTDOWN
 
     # -- measurement surface ----------------------------------------------

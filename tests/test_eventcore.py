@@ -1,0 +1,306 @@
+"""Tests for the fleet-wide event core and the global fleet loop.
+
+Covers the :class:`~repro.simcore.eventcore.EventCore` dispatch loop
+itself (virtual-time ordering, closed-form fast-forward of idle guests,
+stats), the chunked-serving parity that makes interleaving bit-exact,
+and the headline differential property: ``Fleet.simulate`` under the
+global event loop reproduces the sequential oracle's manifest digest
+byte-for-byte, at acceptance scale, across seeds and policies.
+"""
+
+import pytest
+
+from repro.simcore.eventcore import (
+    EventCore,
+    EventCoreError,
+    drain_deadlines,
+)
+
+
+def _run_to_return(generator):
+    """Drain *generator*, returning its ``StopIteration.value``."""
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value
+
+
+class TestEventCore:
+    def test_clock_for_is_create_on_first_use(self):
+        core = EventCore()
+        clock = core.clock_for("g")
+        assert core.clock_for("g") is clock
+        assert clock.now_ns == 0.0
+
+    def test_clock_for_honors_start_ns(self):
+        core = EventCore(start_ns=100.0)
+        assert core.clock_for("g").now_ns == 100.0
+
+    def test_duplicate_spawn_rejected(self):
+        core = EventCore()
+
+        def program():
+            yield None
+
+        core.spawn("g", program())
+        with pytest.raises(EventCoreError):
+            core.spawn("g", program())
+
+    def test_empty_core_runs_to_completion(self):
+        stats = EventCore().run()
+        assert stats.events_dispatched == 0
+        assert stats.guests == 0
+
+    def test_guests_interleave_in_virtual_time_order(self):
+        core = EventCore()
+        order = []
+
+        def program(name, step, stages):
+            clock = core.clock_for(name)
+            for _ in range(stages):
+                order.append((name, clock.now_ns))
+                clock.advance(step)
+                yield None
+
+        core.spawn("slow", program("slow", 10.0, 2))
+        core.spawn("fast", program("fast", 3.0, 4))
+        core.run()
+        # The runnable guest with the smallest virtual instant always
+        # dispatches next; ties (both at 0) break by spawn order.
+        assert order == [
+            ("slow", 0.0),
+            ("fast", 0.0),
+            ("fast", 3.0),
+            ("fast", 6.0),
+            ("fast", 9.0),
+            ("slow", 10.0),
+        ]
+
+    def test_idle_guest_fast_forwarded_in_closed_form(self):
+        core = EventCore()
+        fired = []
+
+        def program():
+            clock = core.clock_for("g")
+            clock.call_after(50.0, lambda: fired.append(clock.now_ns))
+            yield 50.0
+            # The core landed the clock exactly on the parked deadline
+            # (one advance_to, which fired the due event on the way).
+            assert clock.now_ns == 50.0
+
+        core.spawn("g", program())
+        stats = core.run()
+        assert fired == [50.0]
+        assert stats.guests_fast_forwarded == 1
+        assert stats.events_dispatched == 2  # initial stage + wake-up
+
+    def test_yield_none_means_runnable_now(self):
+        core = EventCore()
+
+        def program():
+            clock = core.clock_for("g")
+            clock.advance(7.0)
+            yield None
+            assert clock.now_ns == 7.0  # no fast-forward happened
+
+        core.spawn("g", program())
+        stats = core.run()
+        assert stats.guests_fast_forwarded == 0
+
+    def test_yielding_behind_own_clock_raises(self):
+        core = EventCore()
+
+        def program():
+            clock = core.clock_for("g")
+            clock.advance(100.0)
+            yield 10.0  # time reversal: parked behind its own clock
+
+        core.spawn("g", program())
+        with pytest.raises(EventCoreError):
+            core.run()
+
+    def test_drain_deadlines_parks_on_each_pending_deadline(self):
+        core = EventCore()
+        fired = []
+
+        def program():
+            clock = core.clock_for("g")
+            clock.call_after(10.0, lambda: fired.append("a"))
+            clock.call_after(30.0, lambda: fired.append("b"))
+            yield from drain_deadlines(clock)
+
+        core.spawn("g", program())
+        stats = core.run()
+        assert fired == ["a", "b"]
+        assert core.clock_for("g").now_ns == 30.0
+        assert stats.guests_fast_forwarded == 2
+
+    def test_drain_deadlines_skips_cancelled(self):
+        core = EventCore()
+        fired = []
+
+        def program():
+            clock = core.clock_for("g")
+            doomed = clock.call_after(10.0, lambda: fired.append("doomed"))
+            clock.call_after(20.0, lambda: fired.append("kept"))
+            doomed.cancel()
+            yield from drain_deadlines(clock)
+
+        core.spawn("g", program())
+        core.run()
+        assert fired == ["kept"]
+
+    def test_heap_high_water_tracks_registered_guests(self):
+        core = EventCore()
+
+        def program():
+            yield None
+
+        for index in range(5):
+            core.spawn(f"g{index}", program())
+        stats = core.run()
+        assert stats.heap_high_water == 5
+        assert stats.guests == 5
+
+    def test_stats_published_to_metrics(self):
+        from repro.observe import METRICS
+
+        dispatched = METRICS.counter("eventcore.events_dispatched")
+        forwarded = METRICS.counter("eventcore.guests_fast_forwarded")
+        before = (dispatched.value, forwarded.value)
+
+        core = EventCore()
+
+        def program():
+            clock = core.clock_for("g")
+            clock.call_after(5.0, lambda: None)
+            yield 5.0
+
+        core.spawn("g", program())
+        stats = core.run()
+        assert dispatched.value - before[0] == stats.events_dispatched
+        assert forwarded.value - before[1] == stats.guests_fast_forwarded
+        assert stats.to_dict()["heap_high_water"] == stats.heap_high_water
+
+
+class TestServeChunksParity:
+    """Chunked serving is the bit-exactness unit the global loop rests on."""
+
+    def _guest(self):
+        from repro.core.variants import Variant
+        from repro.simcore.guest import variant_guest
+
+        return variant_guest(Variant.LUPINE_NOKML, app="redis")
+
+    def test_serve_chunks_bit_equal_to_serve(self):
+        from repro.workloads.redis import REDIS_GET
+
+        monolithic = self._guest()
+        chunked = self._guest()
+        rps = monolithic.serve(REDIS_GET, 32)
+        chunked_rps = _run_to_return(
+            chunked.serve_chunks(REDIS_GET, 32, chunk_size=5)
+        )
+        # invoke_batch folds element-wise over the engine accumulator, so
+        # any chunking replays the identical float additions: same rps,
+        # same final clock, to the bit.
+        assert chunked_rps == rps
+        assert chunked.clock.now_ns == monolithic.clock.now_ns
+        assert chunked.requests_served == monolithic.requests_served
+
+    def test_chunk_size_does_not_matter(self):
+        from repro.workloads.redis import REDIS_GET
+
+        rates = set()
+        for chunk_size in (1, 3, 8, 32):
+            guest = self._guest()
+            rates.add(_run_to_return(
+                guest.serve_chunks(REDIS_GET, 32, chunk_size=chunk_size)
+            ))
+        assert len(rates) == 1
+
+    def test_yields_carry_monotone_virtual_instants(self):
+        from repro.workloads.redis import REDIS_GET
+
+        guest = self._guest()
+        instants = list(guest.serve_chunks(REDIS_GET, 24, chunk_size=8))
+        assert len(instants) == 3
+        assert instants == sorted(instants)
+        assert instants[-1] == guest.clock.now_ns
+
+    def test_rejects_bad_chunk_size(self):
+        from repro.workloads.redis import REDIS_GET
+
+        with pytest.raises(ValueError):
+            next(self._guest().serve_chunks(REDIS_GET, 8, chunk_size=0))
+
+    def test_shutdown_drains_pending_deadlines(self):
+        guest = self._guest()
+        fired = []
+        guest.clock.call_after(5e9, lambda: fired.append(guest.clock.now_ns))
+        guest.shutdown()
+        assert fired == [5e9]
+        assert guest.uptime_ns == 5e9
+
+
+class TestFleetGlobalLoop:
+    def test_manifest_reports_build_count(self):
+        from repro.core.orchestrator import Fleet, KernelPolicy
+
+        simulation = Fleet.simulate(20, policy=KernelPolicy.GENERAL, seed=5)
+        assert simulation.manifest()["build_count"] == simulation.build_count
+        # GENERAL: the whole fleet shares one kernel, built exactly once
+        # through the orchestrator's memo.
+        assert simulation.build_count == 1
+        assert simulation.build_count == simulation.distinct_kernels
+
+    def test_build_count_matches_distinct_kernels_per_app(self):
+        from repro.core.orchestrator import Fleet, KernelPolicy
+
+        simulation = Fleet.simulate(60, policy=KernelPolicy.PER_APP, seed=5)
+        assert simulation.build_count == simulation.distinct_kernels > 1
+
+    def test_global_loop_populates_eventcore_stats(self):
+        from repro.core.orchestrator import Fleet, KernelPolicy
+
+        sequential = Fleet.simulate(30, policy=KernelPolicy.GENERAL, seed=9)
+        interleaved = Fleet.simulate(
+            30, policy=KernelPolicy.GENERAL, seed=9, global_loop=True
+        )
+        assert sequential.eventcore_stats is None
+        stats = interleaved.eventcore_stats
+        assert stats is not None
+        assert stats.guests == 30
+        assert stats.events_dispatched >= 30
+        assert stats.heap_high_water >= 30
+
+    def test_global_loop_small_fleet_matches_oracle(self):
+        from repro.core.orchestrator import Fleet, KernelPolicy
+
+        sequential = Fleet.simulate(50, policy=KernelPolicy.PER_APP, seed=13)
+        interleaved = Fleet.simulate(
+            50, policy=KernelPolicy.PER_APP, seed=13, global_loop=True
+        )
+        # Stats live outside the manifest, so the whole document -- not
+        # just the digest -- is execution-strategy-independent.
+        assert interleaved.manifest() == sequential.manifest()
+        assert interleaved.manifest_digest == sequential.manifest_digest
+
+    @pytest.mark.parametrize("policy_name,seed", [
+        ("GENERAL", 2020),
+        ("GENERAL", 77),
+        ("PER_APP", 2020),
+        ("PER_APP", 77),
+    ])
+    def test_global_loop_matches_oracle_at_scale(self, policy_name, seed):
+        """The acceptance criterion: byte-identical manifests at 1000
+        guests, two seeds x two policies, global loop vs sequential."""
+        from repro.core.orchestrator import Fleet, KernelPolicy
+
+        policy = KernelPolicy[policy_name]
+        sequential = Fleet.simulate(1000, policy=policy, seed=seed)
+        interleaved = Fleet.simulate(
+            1000, policy=policy, seed=seed, global_loop=True
+        )
+        assert interleaved.manifest_digest == sequential.manifest_digest

@@ -89,6 +89,68 @@ class TestVirtualClock:
         clock.advance(20.0)
         assert not fired
 
+    def test_cancel_before_fire_returns_true_once(self):
+        clock = VirtualClock()
+        event = clock.call_after(10.0, lambda: None)
+        assert event.cancel() is True
+        assert event.cancel() is False  # already cancelled
+
+    def test_cancel_after_fire_returns_false(self):
+        # The event-lifecycle bug: _run_to never marked popped events, so
+        # cancel() after dispatch claimed to have prevented a callback
+        # that had already run.
+        clock = VirtualClock()
+        fired = []
+        event = clock.call_after(10.0, lambda: fired.append("x"))
+        clock.advance(20.0)
+        assert fired == ["x"]
+        assert event.fired is True
+        assert event.cancel() is False
+
+    def test_cancel_inside_own_callback_returns_false(self):
+        clock = VirtualClock()
+        results = []
+        event = clock.call_after(
+            10.0, lambda: results.append(event.cancel())
+        )
+        clock.advance(20.0)
+        assert results == [False]
+
+    def test_fired_event_without_callback_reports_fired(self):
+        clock = VirtualClock()
+        event = clock.call_after(5.0)  # pure deadline, no callback
+        clock.advance(10.0)
+        assert event.fired is True
+        assert event.cancel() is False
+
+    def test_cancelled_events_compacted_out_of_heap(self):
+        # Cancelled 2MSL-style timers must not accumulate until their
+        # distant deadlines: once more than half of a non-trivial queue
+        # is cancelled, the heap is compacted asyncio-style.
+        clock = VirtualClock()
+        events = [clock.call_after(60e9 + i) for i in range(1000)]
+        for event in events[:-1]:
+            event.cancel()
+        assert clock.pending_events == 1
+        assert len(clock._events) < VirtualClock.COMPACT_MIN_EVENTS
+
+    def test_heap_bounded_under_cancel_heavy_churn(self):
+        clock = VirtualClock()
+        for _ in range(50):
+            batch = [clock.call_after(60e9) for _ in range(100)]
+            for event in batch:
+                event.cancel()
+            clock.advance(1.0)
+            assert len(clock._events) <= 2 * VirtualClock.COMPACT_MIN_EVENTS
+
+    def test_next_deadline_skips_cancelled(self):
+        clock = VirtualClock()
+        first = clock.call_after(10.0)
+        clock.call_after(25.0)
+        assert clock.next_deadline_ns() == 10.0
+        first.cancel()
+        assert clock.next_deadline_ns() == 25.0
+
     def test_event_in_the_past_rejected(self):
         clock = VirtualClock()
         clock.advance(100.0)
@@ -125,6 +187,60 @@ class TestVirtualClock:
         clock.remove_listener(seen.append)
         clock.advance(1.0)
         assert len(seen) == 2
+
+    def test_listeners_notified_on_backward_jump(self):
+        # The desync bug: backward jump_to mutated _now_ns silently, so a
+        # bound TimerWheel kept a stale tick base after the legacy
+        # `clock_ns = 0.0` reset idiom.
+        clock = VirtualClock()
+        seen = []
+        clock.add_listener(seen.append)
+        clock.advance(10.0)
+        clock.jump_to(3.0)
+        assert seen == [10.0, 3.0]
+
+    def test_listeners_notified_on_reset(self):
+        clock = VirtualClock()
+        seen = []
+        clock.add_listener(seen.append)
+        clock.advance(10.0)
+        clock.reset()
+        assert seen == [10.0, 0.0]
+
+    def test_listener_notification_across_all_moves(self):
+        clock = VirtualClock()
+        seen = []
+        clock.add_listener(seen.append)
+        clock.advance(5.0)          # forward
+        clock.advance_to(9.0)       # forward absolute
+        clock.jump_to(12.0)         # forward jump
+        clock.jump_to(4.0)          # backward rebase
+        clock.reset()               # rebase to zero
+        assert seen == [5.0, 9.0, 12.0, 4.0, 0.0]
+
+    def test_timer_wheel_rebases_after_backward_jump(self):
+        from repro.sched.timers import TimerWheel
+
+        clock = VirtualClock()
+        wheel = TimerWheel(hz=250).bind_clock(clock)  # 4 ms ticks
+        clock.advance(10 * wheel.tick_ns)
+        assert wheel.current_tick == 10
+        clock.jump_to(0.0)  # legacy engine.clock_ns = 0.0 reset idiom
+        assert wheel.current_tick == 10  # ticks cannot un-fire
+        # The wheel must tick again immediately, not only after the
+        # clock re-crosses its old high-water mark.
+        clock.advance(3 * wheel.tick_ns)
+        assert wheel.current_tick == 13
+
+    def test_timer_wheel_rebases_after_reset(self):
+        from repro.sched.timers import TimerWheel
+
+        clock = VirtualClock()
+        wheel = TimerWheel(hz=250).bind_clock(clock)
+        clock.advance(5 * wheel.tick_ns)
+        clock.reset()
+        clock.advance(2 * wheel.tick_ns)
+        assert wheel.current_tick == 7
 
 
 class TestClockContext:

@@ -244,6 +244,26 @@ class TestTimeWaitVirtualTime:
         stack.clock.advance(2 * TIME_WAIT_2MSL_NS)
         assert stack.time_wait_expired == 1
 
+    def test_cancelled_2msl_timers_do_not_leak_in_clock_heap(self):
+        """Connection churn must not grow the clock heap without bound.
+
+        Every close() arms a 2MSL deadline; every reap cancels it.  The
+        cancelled entries used to sit in the heap until their far-future
+        deadline came due -- a memory leak proportional to connection
+        churn.  Compaction now keeps the heap near the live-event count.
+        """
+        from repro.simcore.clock import VirtualClock
+
+        clock = VirtualClock()
+        stack = _stack(clock=clock)
+        stack.listen(80)
+        for port in range(1024, 1024 + 400):
+            connection = stack.on_ack(stack.on_syn(80, "10.0.0.1", port))
+            stack.close(connection)
+            stack.reap_time_wait()  # cancels the armed 2MSL deadline
+        assert clock.pending_events == 0
+        assert len(clock._events) <= 2 * VirtualClock.COMPACT_MIN_EVENTS
+
     def test_guest_clock_drives_expiry(self):
         """A stack bound to a guest clock expires off that guest's time."""
         from repro.netstack.tcp import TIME_WAIT_2MSL_NS

@@ -23,11 +23,14 @@
 # simcore invariant: no simulator advances time through the tracer's sim
 # view or keeps a private clock accumulator field.
 #
-# The fleet gate runs bench-guests --check (the general-policy fleet must
-# boot >= 1000 monitor-checked guests on exactly one shared kernel) and
-# regresses its counters -- including the fleet manifest digest, pinning
-# bit-identical fleet behaviour -- against
-# benchmarks/baseline/BENCH_guests.json.
+# The fleet gate runs bench-guests --check --global-loop (the
+# general-policy fleet must boot >= 1000 monitor-checked guests on
+# exactly one shared kernel, fleet builds must flow through the
+# orchestrator's kernel memo, and the global EventCore loop must
+# reproduce the sequential oracle's manifest digest byte-for-byte) and
+# regresses its counters -- including both fleet manifest digests,
+# pinning bit-identical fleet behaviour under either execution strategy
+# -- against benchmarks/baseline/BENCH_guests.json.
 #
 # The chaos gate runs the full suite twice under the same seeded fault
 # schedule (repro-lupine chaos) and asserts the resilience invariants:
@@ -82,11 +85,11 @@ PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline/BENCH_resolve.json "$RUN_DIR/BENCH_resolve.json" \
     --no-timings
 
-echo "==> fleet-simulation microbenchmark + counter gate"
+echo "==> fleet-simulation microbenchmark + global-loop + counter gate"
 # PYTHONHASHSEED=0: fleet manifests fold floats whose derivation walks
 # set-ordered config options; the pinned digest assumes this hash seed.
 PYTHONHASHSEED=0 PYTHONPATH=src python -m repro.cli bench-guests --check \
-    --output-dir "$RUN_DIR"
+    --global-loop --output-dir "$RUN_DIR"
 PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline/BENCH_guests.json "$RUN_DIR/BENCH_guests.json" \
     --no-timings

@@ -16,6 +16,13 @@ keeps it that way across ``src/repro``:
   the time-authority modules.  Layers hold a ``clock: VirtualClock`` and
   advance it; read-only ``clock_ns`` *properties* over that clock are
   fine (and are how legacy call sites keep working).
+- **no-direct-clock-in-fleet** -- constructing a ``VirtualClock``
+  directly inside a fleet code path (:data:`FLEET_PATHS`).  Fleet guests
+  must obtain clocks from the global
+  :class:`repro.simcore.eventcore.EventCore` (``core.clock_for(name)``)
+  so every fleet timeline is registered with -- and order-visible to --
+  the one global event heap.  Standalone layers elsewhere may still
+  default-construct private clocks for isolated tests.
 
 Allowed locations: ``repro/simcore`` (the authority itself) and
 ``repro/observe`` (the tracer view).  Run:
@@ -36,6 +43,10 @@ SRC_ROOT = REPO_ROOT / "src" / "repro"
 
 #: Directories (relative to src/repro) allowed to own or advance time.
 ALLOWED = ("simcore", "observe")
+
+#: Fleet code paths (relative to src/repro): modules that orchestrate
+#: many guests and therefore must source clocks from the EventCore.
+FLEET_PATHS = ("core/orchestrator.py",)
 
 #: Class-level field names that smell like a private timeline.  Duration
 #: parameters and result records (``deadline_ms``, ``elapsed_ns``, ...)
@@ -66,7 +77,15 @@ def _class_field_names(class_node: ast.ClassDef) -> Iterator[Tuple[str, int]]:
                     yield target.id, target.lineno
 
 
-def lint_file(path: pathlib.Path) -> List[str]:
+def _is_clock_construction(node: ast.Call) -> bool:
+    """True for ``VirtualClock(...)`` / ``clock.VirtualClock(...)`` calls."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "VirtualClock"
+    return isinstance(func, ast.Attribute) and func.attr == "VirtualClock"
+
+
+def lint_file(path: pathlib.Path, fleet_path: bool = False) -> List[str]:
     relative = path.relative_to(REPO_ROOT)
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(relative))
     violations = []
@@ -76,6 +95,14 @@ def lint_file(path: pathlib.Path) -> List[str]:
                 f"{relative}:{node.lineno}: [no-sim-advance] advancing "
                 "time through the tracer's sim view; advance "
                 "repro.simcore.context.current_clock() instead"
+            )
+        elif (fleet_path and isinstance(node, ast.Call)
+                and _is_clock_construction(node)):
+            violations.append(
+                f"{relative}:{node.lineno}: [no-direct-clock-in-fleet] "
+                "fleet code constructs a VirtualClock directly; obtain "
+                "guest clocks from EventCore.clock_for(name) so the "
+                "global event heap sees every fleet timeline"
             )
         elif isinstance(node, ast.ClassDef):
             for name, lineno in _class_field_names(node):
@@ -93,10 +120,12 @@ def lint_file(path: pathlib.Path) -> List[str]:
 def lint_tree() -> List[str]:
     violations: List[str] = []
     for path in sorted(SRC_ROOT.rglob("*.py")):
-        relative_parts = path.relative_to(SRC_ROOT).parts
-        if relative_parts and relative_parts[0] in ALLOWED:
+        relative = path.relative_to(SRC_ROOT)
+        if relative.parts and relative.parts[0] in ALLOWED:
             continue
-        violations.extend(lint_file(path))
+        violations.extend(lint_file(
+            path, fleet_path=relative.as_posix() in FLEET_PATHS
+        ))
     return violations
 
 
