@@ -27,6 +27,14 @@ Subcommands:
   serve whole guest fleets per kernel policy through the unified guest
   runtime, as deterministic work-counter deltas (plus TickClock
   throughput) written to ``BENCH_guests.json``.
+- ``fleet-serve``      -- one traffic-driven serving run: a seeded
+  open-loop trace (diurnal/poisson/bursty) routed across warm pools with
+  cold boots and capacity queueing, printing the latency/cold-start
+  report and writing its manifest to ``serve_report.json`` (see
+  docs/SERVING.md).
+- ``bench-serve``      -- the serving microbenchmark: the canonical
+  100k-request diurnal trace per warm-pool policy, run twice each for
+  the determinism contract, written to ``BENCH_serve.json``.
 - ``apps``             -- list the top-20 application registry.
 """
 
@@ -231,6 +239,98 @@ def _cmd_bench_guests(args: argparse.Namespace) -> int:
             return 1
         print("check        : ok (fleet scale and kernel-sharing "
               "criteria hold)")
+    return 0
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.harness.runner import default_output_dir
+    from repro.traffic.arrivals import bursty_trace, poisson_trace
+    from repro.traffic.bench import canonical_trace
+    from repro.traffic.policy import named_policy
+    from repro.traffic.serve import (
+        SERVE_REPORT_NAME,
+        ServeSpec,
+        run_serving,
+    )
+
+    if args.trace == "diurnal":
+        trace = canonical_trace(requests=args.requests)
+        if args.mean_rps is not None:
+            import dataclasses
+
+            trace = dataclasses.replace(trace, mean_rps=args.mean_rps)
+    elif args.trace == "poisson":
+        trace = poisson_trace(requests=args.requests,
+                              mean_rps=args.mean_rps or 1000)
+    else:
+        rps = args.mean_rps or 1000
+        trace = bursty_trace(requests=args.requests,
+                             on_rps=4 * rps, off_rps=max(rps / 4, 1.0))
+    policy = named_policy(args.policy)
+    overrides = {}
+    if args.guests is not None:
+        overrides["max_total"] = args.guests
+    if args.idle_timeout is not None:
+        overrides["idle_timeout_s"] = (
+            None if args.idle_timeout <= 0 else args.idle_timeout
+        )
+    if overrides:
+        policy = policy.with_overrides(**overrides)
+    spec = ServeSpec(trace=trace, policy=policy, seed=args.seed)
+    report = run_serving(spec)
+    print(report.render())
+    output_dir = (
+        pathlib.Path(args.output_dir)
+        if args.output_dir is not None else default_output_dir()
+    )
+    report_path = output_dir / SERVE_REPORT_NAME
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    import json
+
+    report_path.write_text(
+        json.dumps(report.manifest(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"report       : {report_path}")
+    print(f"digest       : sha256 {report.manifest_digest}")
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.harness.runner import default_output_dir
+    from repro.traffic.bench import (
+        BENCH_SERVE_NAME,
+        check_result,
+        render_summary,
+        run_bench,
+        write_result,
+    )
+
+    result = run_bench()
+    output_dir = (
+        pathlib.Path(args.output_dir)
+        if args.output_dir is not None else default_output_dir()
+    )
+    result_path = output_dir / BENCH_SERVE_NAME
+    write_result(result, result_path)
+    print(render_summary(result))
+    print(f"written      : {result_path}")
+    if args.snapshot is not None:
+        snapshot_path = pathlib.Path(args.snapshot)
+        write_result(result, snapshot_path)
+        print(f"snapshot     : {snapshot_path}")
+    if args.check:
+        failures = check_result(result)
+        for failure in failures:
+            print(f"CHECK FAILED : {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check        : ok (determinism, churn scale, and "
+              "warm-pool tail criteria hold)")
     return 0
 
 
@@ -539,6 +639,59 @@ def build_parser() -> argparse.ArgumentParser:
                      help="where BENCH_guests.json lands "
                           "(default: benchmarks/output/)")
     sub.set_defaults(func=_cmd_bench_guests)
+
+    sub = subparsers.add_parser(
+        "fleet-serve",
+        help="run one traffic-driven serving trace across the fleet "
+             "(open-loop arrivals, warm-pool routing, cold boots; "
+             "writes serve_report.json)",
+    )
+    sub.add_argument("--policy", default="scale-to-zero",
+                     choices=__import__(
+                         "repro.traffic.policy", fromlist=["policy_names"]
+                     ).policy_names(),
+                     help="warm-pool policy preset (default scale-to-zero)")
+    sub.add_argument("--trace", default="diurnal",
+                     choices=["diurnal", "poisson", "bursty"],
+                     help="arrival process (default: the canonical "
+                          "diurnal trace)")
+    sub.add_argument("--requests", type=int, default=100_000, metavar="N",
+                     help="requests in the trace (default 100000)")
+    sub.add_argument("--mean-rps", type=float, default=None, metavar="R",
+                     help="mean arrival rate (default: canonical trace's)")
+    sub.add_argument("--seed", type=int, default=2020, metavar="N",
+                     help="arrival/app-mix seed (default 2020)")
+    sub.add_argument("--guests", type=int, default=None, metavar="N",
+                     help="fleet capacity ceiling (policy max_total "
+                          "override, default 1000)")
+    sub.add_argument("--idle-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="scale-to-zero idle timeout override "
+                          "(<= 0: keep warm guests alive forever)")
+    sub.add_argument("--output-dir", default=None, metavar="DIR",
+                     help="where serve_report.json lands "
+                          "(default: benchmarks/output/)")
+    sub.set_defaults(func=_cmd_fleet_serve)
+
+    sub = subparsers.add_parser(
+        "bench-serve",
+        help="traffic-serving microbenchmark: the canonical 100k-request "
+             "diurnal trace per warm-pool policy, twice each "
+             "(deterministic counter deltas; writes BENCH_serve.json)",
+    )
+    sub.add_argument("--check", action="store_true",
+                     help="exit 1 unless both policies reproduce their "
+                          "manifest digests byte-identically, "
+                          "scale-to-zero cold-boots >= 1000 guests with "
+                          "a nonzero cold-start fraction, and the fixed "
+                          "pool buys back the latency tail")
+    sub.add_argument("--snapshot", default=None, metavar="PATH",
+                     help="also write the result JSON to PATH (e.g. "
+                          "benchmarks/baseline/BENCH_serve.json)")
+    sub.add_argument("--output-dir", default=None, metavar="DIR",
+                     help="where BENCH_serve.json lands "
+                          "(default: benchmarks/output/)")
+    sub.set_defaults(func=_cmd_bench_serve)
 
     sub = subparsers.add_parser(
         "diff",

@@ -107,21 +107,34 @@ class Fleet:
         """
         from repro.apps.registry import top20_in_popularity_order
 
-        if count < 1:
-            raise ValueError("a fleet needs at least one guest")
+        if count < 0:
+            raise ValueError(f"fleet size cannot be negative (got {count})")
         orchestrator = KernelOrchestrator(policy=policy, kml=kml)
+        if count == 0:
+            # Empty-but-well-formed: the manifest (and its digest) is
+            # defined for a zero-guest fleet, identically under either
+            # execution strategy, instead of raising.
+            return FleetSimulation(
+                policy=policy, seed=seed, count=0, entries=[],
+                build_count=orchestrator.build_count, eventcore_stats=None,
+            )
         apps = top20_in_popularity_order()
         rng = random.Random(seed)
         drawn = rng.choices(
             apps, weights=[app.downloads_billions for app in apps], k=count
         )
+        specs = [
+            cls._guest_spec(orchestrator, index, app)
+            for index, app in enumerate(drawn)
+        ]
+        cls._validate_specs(specs)
         if global_loop:
             entries, core_stats = cls._simulate_global(
-                orchestrator, drawn, requests_per_guest
+                orchestrator, drawn, specs, requests_per_guest
             )
         else:
             entries = cls._simulate_sequential(
-                orchestrator, drawn, requests_per_guest
+                orchestrator, drawn, specs, requests_per_guest
             )
             core_stats = None
         return FleetSimulation(
@@ -129,6 +142,22 @@ class Fleet:
             build_count=orchestrator.build_count,
             eventcore_stats=core_stats,
         )
+
+    @staticmethod
+    def _validate_specs(specs) -> None:
+        """Reject duplicate guest names up front, identically on both paths.
+
+        The sequential path used to run duplicate-named guests silently
+        while the global path failed deep inside ``EventCore.spawn``;
+        both now fail fast, before any build work, with the same error.
+        """
+        seen: Set[str] = set()
+        for spec in specs:
+            if spec.name in seen:
+                raise ValueError(
+                    f"duplicate guest name {spec.name!r} in fleet specs"
+                )
+            seen.add(spec.name)
 
     @classmethod
     def _guest_spec(cls, orchestrator: "KernelOrchestrator", index: int,
@@ -161,14 +190,14 @@ class Fleet:
         cls,
         orchestrator: "KernelOrchestrator",
         drawn: List[Application],
+        specs,
         requests_per_guest: int,
     ) -> List["GuestManifestEntry"]:
         """The sequential differential oracle: one guest at a time."""
         from repro.simcore.guest import Guest
 
         entries: List[GuestManifestEntry] = []
-        for index, app in enumerate(drawn):
-            spec = cls._guest_spec(orchestrator, index, app)
+        for (index, app), spec in zip(enumerate(drawn), specs):
             guest = Guest(
                 spec, unikernel=orchestrator.unikernel_for(app)
             ).build()
@@ -189,6 +218,7 @@ class Fleet:
         cls,
         orchestrator: "KernelOrchestrator",
         drawn: List[Application],
+        specs,
         requests_per_guest: int,
     ):
         """Run the fleet as one event loop on a global EventCore."""
@@ -219,8 +249,135 @@ class Fleet:
                 guest, app, boot_ms, requests, rps
             )
 
-        for index, app in enumerate(drawn):
-            spec = cls._guest_spec(orchestrator, index, app)
+        for (index, app), spec in zip(enumerate(drawn), specs):
+            guest = Guest(
+                spec,
+                clock=core.clock_for(spec.name),
+                unikernel=orchestrator.unikernel_for(app),
+            )
+            core.spawn(spec.name, _program(index, app, guest))
+        stats = core.run()
+        entries = [results[index] for index in range(len(drawn))]
+        return entries, stats
+
+    # -- the closed-loop serve mode ---------------------------------------
+
+    @classmethod
+    def serve(
+        cls,
+        count: int,
+        policy: KernelPolicy = KernelPolicy.GENERAL,
+        seed: int = 0,
+        requests_per_guest: int = 32,
+        kml: bool = True,
+        global_loop: bool = False,
+    ) -> "FleetServeReport":
+        """Closed-loop serving: fixed request counts, per-request latency.
+
+        Where :meth:`simulate` reports one aggregate rps per guest,
+        ``serve`` drives every guest through
+        :meth:`~repro.simcore.guest.Guest.serve_chunks` one request at a
+        time and records each request's latency (the guest-clock delta
+        across the chunk).  The mix is drawn from the *curated serving
+        profiles* only -- every guest serves.  Because chunked serving
+        replays the identical float additions under any interleaving,
+        the sequential path and ``global_loop=True`` produce
+        bit-identical latency samples (the property the tests pin);
+        the open-loop counterpart is :func:`repro.traffic.serve.run_serving`.
+        """
+        from repro.apps.registry import top20_in_popularity_order
+
+        if count < 0:
+            raise ValueError(f"fleet size cannot be negative (got {count})")
+        orchestrator = KernelOrchestrator(policy=policy, kml=kml)
+        report = FleetServeReport(
+            policy=policy, seed=seed, count=count,
+            requests_per_guest=requests_per_guest,
+        )
+        if count == 0:
+            return report
+        apps = [
+            app for app in top20_in_popularity_order()
+            if serving_profile(app.name) is not None
+        ]
+        rng = random.Random(seed)
+        drawn = rng.choices(
+            apps, weights=[app.downloads_billions for app in apps], k=count
+        )
+        specs = [
+            cls._guest_spec(orchestrator, index, app)
+            for index, app in enumerate(drawn)
+        ]
+        cls._validate_specs(specs)
+        if global_loop:
+            report.entries, report.eventcore_stats = cls._serve_global(
+                orchestrator, drawn, specs, requests_per_guest
+            )
+        else:
+            report.entries = cls._serve_sequential(
+                orchestrator, drawn, specs, requests_per_guest
+            )
+        return report
+
+    @classmethod
+    def _serve_sequential(cls, orchestrator, drawn, specs,
+                          requests_per_guest):
+        from repro.simcore.guest import Guest
+
+        entries = []
+        for (index, app), spec in zip(enumerate(drawn), specs):
+            guest = Guest(
+                spec, unikernel=orchestrator.unikernel_for(app)
+            ).build()
+            boot_ms = guest.boot().total_ms
+            samples: List[float] = []
+            prev = guest.clock.now_ns
+            for instant in guest.serve_chunks(
+                serving_profile(app.name), requests_per_guest, chunk_size=1
+            ):
+                samples.append(instant - prev)
+                prev = instant
+            guest.shutdown()
+            entries.append(GuestServeEntry(
+                guest=spec.name, app=app.name, boot_ms=boot_ms,
+                samples_ns=samples,
+            ))
+        return entries
+
+    @classmethod
+    def _serve_global(cls, orchestrator, drawn, specs, requests_per_guest):
+        from repro.simcore.eventcore import EventCore, drain_deadlines
+        from repro.simcore.guest import Guest
+
+        core = EventCore()
+        results: Dict[int, GuestServeEntry] = {}
+
+        def _program(index: int, app: Application, guest: "Guest"):
+            guest.build()
+            yield None
+            boot_ms = guest.boot().total_ms
+            yield None
+            samples: List[float] = []
+            prev = guest.clock.now_ns
+            chunks = guest.serve_chunks(
+                serving_profile(app.name), requests_per_guest, chunk_size=1
+            )
+            while True:
+                try:
+                    instant = next(chunks)
+                except StopIteration:
+                    break
+                samples.append(instant - prev)
+                prev = instant
+                yield None
+            yield from drain_deadlines(guest.clock)
+            guest.shutdown()
+            results[index] = GuestServeEntry(
+                guest=guest.spec.name, app=app.name, boot_ms=boot_ms,
+                samples_ns=samples,
+            )
+
+        for (index, app), spec in zip(enumerate(drawn), specs):
             guest = Guest(
                 spec,
                 clock=core.clock_for(spec.name),
@@ -255,6 +412,17 @@ def _workload_profile(app_name: str):
     module_name, attribute = entry
     module = __import__(module_name, fromlist=[attribute])
     return getattr(module, attribute)
+
+
+def serving_profile(app_name: str):
+    """The workload :class:`RequestProfile` *app_name* serves, or None.
+
+    The public surface of the curated profile map: the traffic layer
+    (``repro.traffic``) builds its app universe and per-request costs
+    from this, so routing and fleet simulation agree on what each app's
+    requests cost.
+    """
+    return _workload_profile(app_name)
 
 
 @dataclass(frozen=True)
@@ -331,6 +499,65 @@ class FleetSimulation:
     @property
     def manifest_digest(self) -> str:
         """SHA-256 over the canonical manifest encoding."""
+        encoded = json.dumps(
+            self.manifest(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class GuestServeEntry:
+    """One closed-loop serving guest: boot cost plus latency samples."""
+
+    guest: str
+    app: str
+    boot_ms: float
+    #: Per-request latency in virtual ns (guest-clock delta per chunk of
+    #: one); bit-identical between the sequential and global-loop paths.
+    samples_ns: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "samples_ns", tuple(self.samples_ns))
+
+
+@dataclass
+class FleetServeReport:
+    """The deterministic outcome of one :meth:`Fleet.serve` run."""
+
+    policy: KernelPolicy
+    seed: int
+    count: int
+    requests_per_guest: int
+    entries: List[GuestServeEntry] = field(default_factory=list)
+    #: EventCoreStats of the global loop (None for sequential runs);
+    #: outside the manifest, like FleetSimulation's.
+    eventcore_stats: Optional[object] = None
+
+    @property
+    def all_samples_ns(self) -> List[float]:
+        return [
+            sample for entry in self.entries for sample in entry.samples_ns
+        ]
+
+    def manifest(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy.value,
+            "seed": self.seed,
+            "count": self.count,
+            "requests_per_guest": self.requests_per_guest,
+            "guests": [
+                {
+                    "guest": entry.guest,
+                    "app": entry.app,
+                    "boot_ms": entry.boot_ms,
+                    "samples_ns": list(entry.samples_ns),
+                }
+                for entry in self.entries
+            ],
+        }
+
+    @property
+    def manifest_digest(self) -> str:
         encoded = json.dumps(
             self.manifest(), sort_keys=True, separators=(",", ":")
         )

@@ -29,6 +29,26 @@ the guest is next runnable:
   ``invoke_batch`` fold applied *across* guests: within a guest, batched
   serving folds a whole jitter period in one call; across guests, idle
   time folds into one jump.
+- ``yield PARK`` -- **parked indefinitely**: the guest leaves the heap
+  entirely and is not runnable again until another program calls
+  :meth:`EventCore.unpark` (or :meth:`EventCore.kick`).  This is how a
+  warm serving guest waits for traffic without holding a deadline: the
+  router wakes it when a request arrives, and ``run()`` returning with
+  parked guests still registered means the fleet is *quiescent*, not
+  finished -- the caller may unpark them (e.g. to retire) and ``run()``
+  again.
+
+Serving extensions (the ``repro.traffic`` layer drives these):
+
+- :meth:`EventCore.spawn` takes ``start_ns`` so a guest cold-booted in
+  reaction to an arrival first dispatches *at the arrival instant* --
+  the core fast-forwards the fresh clock there, aligning the guest's
+  timeline with global time before its build/boot stages run;
+- :meth:`EventCore.kick` re-arms a registered guest at an instant,
+  whether it is parked or waiting on a (later) armed deadline.  A kick
+  supersedes the pending heap entry via a per-runner generation
+  counter: the stale entry is skipped on pop without counting as a
+  dispatch, so wake-ups never double-run a guest.
 
 Determinism: the heap is keyed ``(virtual_ns, seq)`` with ``seq`` a
 monotone counter, programs run on one thread, and every per-guest
@@ -59,8 +79,21 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.simcore.clock import VirtualClock
 
+
+class _ParkSentinel:
+    """The :data:`PARK` singleton (its own type, so yields are explicit)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PARK"
+
+
+#: Yield this from a guest program to park indefinitely: the runner
+#: leaves the global heap until ``unpark``/``kick`` re-arms it.
+PARK = _ParkSentinel()
+
 #: A guest lifecycle program: ``next()`` runs one stage; yields ``None``
-#: (runnable now) or an absolute virtual deadline (idle until then).
+#: (runnable now), an absolute virtual deadline (idle until then), or
+#: :data:`PARK` (off the heap until unparked).
 GuestProgram = Generator[Optional[float], None, None]
 
 
@@ -76,6 +109,10 @@ class _Runner:
     clock: VirtualClock
     program: GuestProgram
     done: bool = False
+    parked: bool = False
+    #: Bumped by every kick; heap entries carry the generation they were
+    #: pushed under, so superseded entries are skipped on pop.
+    gen: int = 0
 
 
 @dataclass
@@ -86,6 +123,8 @@ class EventCoreStats:
     guests_fast_forwarded: int = 0
     heap_high_water: int = 0
     guests: int = 0
+    parks: int = 0
+    kicks: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -93,6 +132,8 @@ class EventCoreStats:
             "guests_fast_forwarded": self.guests_fast_forwarded,
             "heap_high_water": self.heap_high_water,
             "guests": self.guests,
+            "parks": self.parks,
+            "kicks": self.kicks,
         }
 
 
@@ -116,9 +157,14 @@ class EventCore:
     start_ns: float = 0.0
     _clocks: Dict[str, VirtualClock] = field(default_factory=dict)
     _runners: Dict[str, _Runner] = field(default_factory=dict)
-    _heap: List[Tuple[float, int, "_Runner"]] = field(default_factory=list)
+    _heap: List[Tuple[float, int, int, "_Runner"]] = field(
+        default_factory=list
+    )
     _seq: "itertools.count" = field(default_factory=itertools.count)
     stats: EventCoreStats = field(default_factory=EventCoreStats)
+    #: Stats already folded into METRICS (``run()`` publishes deltas, so
+    #: quiesce-then-resume runs never double-count).
+    _published: EventCoreStats = field(default_factory=EventCoreStats)
 
     # -- registration ------------------------------------------------------
 
@@ -134,30 +180,91 @@ class EventCore:
             self._clocks[name] = VirtualClock(self.start_ns)
         return self._clocks[name]
 
-    def spawn(self, name: str, program: GuestProgram) -> None:
-        """Register guest *name*'s lifecycle *program* with the core."""
+    def spawn(self, name: str, program: GuestProgram,
+              start_ns: Optional[float] = None) -> None:
+        """Register guest *name*'s lifecycle *program* with the core.
+
+        ``start_ns`` arms the first dispatch at an absolute virtual
+        instant instead of the guest clock's current one -- the
+        cold-boot path: a guest spawned in reaction to an arrival at
+        global time T first runs *at* T, and the core fast-forwards its
+        fresh clock there before the build stage executes.  Spawning
+        mid-``run()`` is legal (the heap absorbs new entries).
+        """
         if name in self._runners:
             raise EventCoreError(f"guest {name!r} already registered")
         runner = _Runner(name=name, clock=self.clock_for(name),
                          program=program)
         self._runners[name] = runner
         self.stats.guests += 1
-        self._push(runner.clock.now_ns, runner)
+        key_ns = runner.clock.now_ns
+        if start_ns is not None:
+            key_ns = max(float(start_ns), key_ns)
+        self._push(key_ns, runner)
+
+    # -- wake-up surface ---------------------------------------------------
+
+    def is_parked(self, name: str) -> bool:
+        """Whether guest *name* yielded :data:`PARK` and awaits a wake-up."""
+        runner = self._runners.get(name)
+        return runner is not None and runner.parked and not runner.done
+
+    def unpark(self, name: str, at_ns: Optional[float] = None) -> None:
+        """Wake a :data:`PARK`-ed guest at ``at_ns`` (default: its own now).
+
+        Raises :class:`EventCoreError` unless the guest is currently
+        parked -- use :meth:`kick` when the guest may instead be waiting
+        on an armed deadline.
+        """
+        runner = self._runners.get(name)
+        if runner is None or runner.done:
+            raise EventCoreError(f"guest {name!r} is not registered/alive")
+        if not runner.parked:
+            raise EventCoreError(f"guest {name!r} is not parked")
+        self.kick(name, runner.clock.now_ns if at_ns is None else at_ns)
+
+    def kick(self, name: str, at_ns: float) -> None:
+        """Re-arm guest *name* to dispatch at ``at_ns`` (clamped to its now).
+
+        Works whether the guest is parked or pending on a (typically
+        later) deadline: the runner's generation counter is bumped, so
+        any entry already in the heap is superseded -- skipped on pop
+        without counting as a dispatch.  The serving router uses this to
+        hand a warm guest a request: pop it from the pool, enqueue the
+        work, kick it at the arrival instant.
+        """
+        runner = self._runners.get(name)
+        if runner is None or runner.done:
+            raise EventCoreError(f"guest {name!r} is not registered/alive")
+        runner.gen += 1
+        runner.parked = False
+        self.stats.kicks += 1
+        self._push(max(float(at_ns), runner.clock.now_ns), runner)
 
     # -- the loop ----------------------------------------------------------
 
     def run(self) -> EventCoreStats:
-        """Dispatch the merged heap until every program completes.
+        """Dispatch the merged heap until it empties.
+
+        The heap empties when every program has completed *or parked*:
+        a return with parked runners means the fleet is quiescent, and
+        the caller may :meth:`unpark`/:meth:`kick` them and ``run()``
+        again -- stats accumulate across resumed runs, and the metrics
+        registry receives only the delta each run produced.
 
         Returns (and publishes to the metrics registry) the per-core
         counters: events dispatched, guests fast-forwarded in closed
-        form, and the heap's high-water mark.
+        form, parks/kicks, and the heap's high-water mark.
         """
         from repro.faults.plane import fault_site
         from repro.simcore.context import use_clock
 
         while self._heap:
-            key_ns, _, runner = heapq.heappop(self._heap)
+            key_ns, _, gen, runner = heapq.heappop(self._heap)
+            if runner.done or gen != runner.gen:
+                # Superseded by a kick (or retired): a stale entry, not
+                # a dispatch.
+                continue
             self.stats.events_dispatched += 1
             if key_ns > runner.clock.now_ns:
                 # Idle guest whose parked deadline is now the earliest
@@ -171,6 +278,10 @@ class EventCore:
                         idle_until = next(runner.program)
             except StopIteration:
                 runner.done = True
+                continue
+            if idle_until is PARK:
+                runner.parked = True
+                self.stats.parks += 1
                 continue
             next_key = (runner.clock.now_ns if idle_until is None
                         else float(idle_until))
@@ -186,7 +297,9 @@ class EventCore:
     # -- internals ---------------------------------------------------------
 
     def _push(self, key_ns: float, runner: _Runner) -> None:
-        heapq.heappush(self._heap, (key_ns, next(self._seq), runner))
+        heapq.heappush(
+            self._heap, (key_ns, next(self._seq), runner.gen, runner)
+        )
         if len(self._heap) > self.stats.heap_high_water:
             self.stats.heap_high_water = len(self._heap)
 
@@ -196,14 +309,22 @@ class EventCore:
         from repro.observe import METRICS
 
         METRICS.counter("eventcore.events_dispatched").inc(
-            self.stats.events_dispatched
+            self.stats.events_dispatched - self._published.events_dispatched
         )
         METRICS.counter("eventcore.guests_fast_forwarded").inc(
             self.stats.guests_fast_forwarded
+            - self._published.guests_fast_forwarded
+        )
+        METRICS.counter("eventcore.parks").inc(
+            self.stats.parks - self._published.parks
+        )
+        METRICS.counter("eventcore.kicks").inc(
+            self.stats.kicks - self._published.kicks
         )
         METRICS.gauge("eventcore.heap_high_water").set(
             float(self.stats.heap_high_water)
         )
+        self._published = EventCoreStats(**self.stats.to_dict())
 
 
 def drain_deadlines(clock: VirtualClock) -> GuestProgram:

@@ -1,0 +1,71 @@
+"""Traffic-driven fleet serving: open-loop arrivals over the EventCore.
+
+PR 6 gave the fleet one global virtual-time heap
+(:class:`~repro.simcore.eventcore.EventCore`); this package drives it
+with *traffic* instead of fixed per-guest request counts -- the
+Firecracker-study framing of serverless fleets, with MultiK-style
+routing across specialized kernels:
+
+- :mod:`repro.traffic.arrivals` -- seeded open-loop traces (Poisson,
+  diurnal, bursty) with a Zipf-skewed app mix, armed as deadlines on
+  the arrivals clock;
+- :mod:`repro.traffic.policy` -- warm-pool/keepalive policies
+  (scale-to-zero idle timeout, pool floors/ceilings, pre-warm);
+- :mod:`repro.traffic.router` -- warm-pool dispatch, cold boots (full
+  Fig 2 + Fig 7 pipeline inside the latency tail), capacity queues;
+- :mod:`repro.traffic.serve` -- one run end-to-end, producing the
+  canonical :class:`~repro.traffic.serve.ServingReport` manifest;
+- :mod:`repro.traffic.bench` -- the ``bench-serve`` gate.
+
+Determinism contract: a :class:`~repro.traffic.serve.ServeSpec` fully
+determines the report manifest -- same seed, byte-identical digest --
+under every policy.  See ``docs/SERVING.md``.
+"""
+
+from repro.traffic.arrivals import (
+    Arrival,
+    ArrivalSource,
+    TraceSpec,
+    bursty_trace,
+    curated_apps,
+    diurnal_trace,
+    poisson_trace,
+    zipf_app_mix,
+)
+from repro.traffic.policy import (
+    FIXED_POOL,
+    SCALE_TO_ZERO,
+    WarmPoolPolicy,
+    named_policy,
+    policy_names,
+)
+from repro.traffic.router import GuestWorker, LatencySample, Router
+from repro.traffic.serve import (
+    SERVE_SCHEMA_VERSION,
+    ServeSpec,
+    ServingReport,
+    run_serving,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalSource",
+    "TraceSpec",
+    "bursty_trace",
+    "curated_apps",
+    "diurnal_trace",
+    "poisson_trace",
+    "zipf_app_mix",
+    "FIXED_POOL",
+    "SCALE_TO_ZERO",
+    "WarmPoolPolicy",
+    "named_policy",
+    "policy_names",
+    "GuestWorker",
+    "LatencySample",
+    "Router",
+    "SERVE_SCHEMA_VERSION",
+    "ServeSpec",
+    "ServingReport",
+    "run_serving",
+]

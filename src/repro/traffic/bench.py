@@ -1,0 +1,261 @@
+"""The ``bench-serve`` microbenchmark: traffic-driven serving, counted.
+
+Runs the canonical serving scenario -- a seeded diurnal trace of
+:data:`SERVE_REQUESTS` requests against a 1000-guest fleet capacity --
+once per warm-pool policy, and reports the deterministic work counters
+plus the latency/cold-start shape of each run:
+
+- ``serve_scale_to_zero`` -- the serverless deployment: every traffic
+  trough retires the fleet past the idle timeout, every ramp cold-boots
+  it again through the full ``GuestSpec -> build -> boot`` pipeline, so
+  the paper's Fig 7 boot cost lands inside the latency tail;
+- ``serve_fixed_pool`` -- the provisioned deployment: pre-warmed,
+  keepalive-forever pools buy the tail back with guest-seconds.
+
+Every scenario runs **twice**; the manifest digest of the rerun must be
+byte-identical to the first run's, which is the serving determinism
+contract (same :class:`~repro.traffic.serve.ServeSpec`, same bytes).
+Both digests are folded in as integer counters so the ``regress`` gate
+additionally pins them against the checked-in snapshot at
+``benchmarks/baseline/BENCH_serve.json``.
+
+Nothing reported is wall-clock: boot/resolver work are counter deltas,
+latency percentiles are virtual-time, and throughput is requests per
+TickClock second (one fixed step per tracer clock reading -- a
+machine-independent proxy for host work).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Callable, Dict, List
+
+from repro.observe import METRICS, TRACER
+
+#: File the benchmark JSON is written to, next to the run manifest.
+BENCH_SERVE_NAME = "BENCH_serve.json"
+
+#: The canonical trace: requests served per run (acceptance floor 100k).
+SERVE_REQUESTS = 100_000
+
+#: Mean arrival rate and diurnal shape.  One period is 1.6 virtual
+#: seconds with full-depth troughs (amplitude 1.0), so a 100-second run
+#: crosses ~62 troughs; each one outlives the scale-to-zero idle timeout
+#: and retires the warm pools, which is what makes the fleet cold-boot
+#: more than 1000 guests over the run.
+SERVE_MEAN_RPS = 1000
+SERVE_PERIOD_S = 1.6
+SERVE_AMPLITUDE = 1.0
+
+#: The PRNG seed arrivals and the app mix are drawn from.
+SERVE_SEED = 2020  # EuroSys '20
+
+_WORK_COUNTERS = (
+    "boot.boots",
+    "vmm.guest_checks",
+    "kconfig.resolutions",
+    "eventcore.events_dispatched",
+    "eventcore.guests_fast_forwarded",
+    "eventcore.kicks",
+    "eventcore.parks",
+)
+
+
+def canonical_trace(requests: int = SERVE_REQUESTS):
+    """The benchmark's diurnal trace (also the ``fleet-serve`` default)."""
+    from repro.traffic.arrivals import diurnal_trace
+
+    return diurnal_trace(
+        requests=requests,
+        mean_rps=SERVE_MEAN_RPS,
+        period_s=SERVE_PERIOD_S,
+        amplitude=SERVE_AMPLITUDE,
+    )
+
+
+def _measure(fn: Callable[[], None]) -> Dict[str, int]:
+    """Run *fn* and return the work-counter deltas it caused."""
+    before = {name: METRICS.counter(name).value for name in _WORK_COUNTERS}
+    fn()
+    return {
+        name: METRICS.counter(name).value - before[name]
+        for name in _WORK_COUNTERS
+    }
+
+
+def run_bench() -> Dict[str, Any]:
+    """Run both policies (twice each) and return the result document."""
+    from repro.core.buildcache import BUILD_CACHE
+    from repro.kconfig.rescache import RESOLUTION_CACHE
+    from repro.observe.tracer import TickClock
+    from repro.traffic.policy import FIXED_POOL, SCALE_TO_ZERO
+    from repro.traffic.serve import ServeSpec, run_serving
+
+    # Start cold so the counters are history-independent: the same bench
+    # numbers whether run standalone or after a full experiment sweep.
+    BUILD_CACHE.reset()
+    RESOLUTION_CACHE.reset()
+
+    trace = canonical_trace()
+    scenarios = [
+        ("serve_scale_to_zero", SCALE_TO_ZERO),
+        ("serve_fixed_pool", FIXED_POOL),
+    ]
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    host_clock = TRACER.clock
+    tick = TickClock(step_us=1000.0)
+    TRACER.clock = tick
+    try:
+        for section, policy in scenarios:
+            spec = ServeSpec(trace=trace, policy=policy, seed=SERVE_SEED)
+            box: List[Any] = []
+            tick_before = tick._now
+            deltas = _measure(lambda: box.append(run_serving(spec)))
+            tick_elapsed_s = (tick._now - tick_before) / 1e6
+            report = box[0]
+            # The determinism contract: the same spec must reproduce the
+            # manifest byte-for-byte, so run it again and record both
+            # digests (check_result asserts they match).
+            rerun = run_serving(spec)
+            counters[f"serve.manifest_digest48.{section}"] = int(
+                report.manifest_digest[:12], 16
+            )
+            counters[f"serve.manifest_digest48.{section}.rerun"] = int(
+                rerun.manifest_digest[:12], 16
+            )
+            counters.update({
+                f"{metric}.{section}": value
+                for metric, value in deltas.items()
+            })
+            gauges[f"serve.requests.{section}"] = float(report.served)
+            gauges[f"serve.dropped.{section}"] = float(report.dropped)
+            gauges[f"serve.cold_start_fraction.{section}"] = round(
+                report.cold_start_fraction, 6
+            )
+            gauges[f"serve.latency_p50_ms.{section}"] = report.latency_ms[
+                "p50"
+            ]
+            gauges[f"serve.latency_p99_ms.{section}"] = report.latency_ms[
+                "p99"
+            ]
+            gauges[f"serve.latency_p999_ms.{section}"] = report.latency_ms[
+                "p999"
+            ]
+            gauges[f"serve.queue_high_water.{section}"] = float(
+                report.queue_high_water
+            )
+            gauges[f"serve.guests_spawned.{section}"] = float(
+                report.guests_spawned
+            )
+            gauges[f"serve.peak_live.{section}"] = float(report.peak_live)
+            gauges[f"serve.guest_seconds.{section}"] = round(
+                report.guest_seconds, 3
+            )
+            gauges[f"serve.requests_per_tick_sec.{section}"] = round(
+                report.served / tick_elapsed_s, 2
+            )
+    finally:
+        TRACER.clock = host_clock
+    return {"counters": counters, "gauges": gauges, "histograms": {}}
+
+
+def check_result(result: Dict[str, Any]) -> List[str]:
+    """Return acceptance-criterion violations ([] when the result passes)."""
+    counters = result.get("counters", {})
+    gauges = result.get("gauges", {})
+    failures: List[str] = []
+    for section in ("serve_scale_to_zero", "serve_fixed_pool"):
+        served = gauges.get(f"serve.requests.{section}", 0.0)
+        if served < SERVE_REQUESTS:
+            failures.append(
+                f"{section} served only {served:g} requests; the canonical "
+                f"trace must deliver >= {SERVE_REQUESTS}"
+            )
+        first = counters.get(f"serve.manifest_digest48.{section}", 0)
+        rerun = counters.get(f"serve.manifest_digest48.{section}.rerun", -1)
+        if first <= 0:
+            failures.append(f"{section} manifest digest missing")
+        if first != rerun:
+            failures.append(
+                f"{section} is not deterministic: rerun manifest digest48 "
+                f"{rerun:012x} != {first:012x}"
+            )
+        p50 = gauges.get(f"serve.latency_p50_ms.{section}", 0.0)
+        p99 = gauges.get(f"serve.latency_p99_ms.{section}", 0.0)
+        p999 = gauges.get(f"serve.latency_p999_ms.{section}", 0.0)
+        if not 0.0 < p50 <= p99 <= p999:
+            failures.append(
+                f"{section} latency percentiles disordered: "
+                f"p50 {p50:g} / p99 {p99:g} / p999 {p999:g} ms"
+            )
+    spawned = gauges.get("serve.guests_spawned.serve_scale_to_zero", 0.0)
+    if spawned < 1000:
+        failures.append(
+            f"scale-to-zero cold-booted only {spawned:g} guests over the "
+            "trace; the churn scenario must exceed 1000"
+        )
+    cold = gauges.get("serve.cold_start_fraction.serve_scale_to_zero", 0.0)
+    if cold <= 0.0:
+        failures.append(
+            "scale-to-zero reported a zero cold-start fraction; boots "
+            "must appear in the served traffic"
+        )
+    warm_cold = gauges.get("serve.cold_start_fraction.serve_fixed_pool", 0.0)
+    if warm_cold >= cold:
+        failures.append(
+            f"fixed-pool cold-start fraction {warm_cold:g} is not below "
+            f"scale-to-zero's {cold:g}; pre-warming must absorb boots"
+        )
+    tail_cold = gauges.get("serve.latency_p999_ms.serve_scale_to_zero", 0.0)
+    tail_warm = gauges.get("serve.latency_p999_ms.serve_fixed_pool", 0.0)
+    if tail_warm >= tail_cold:
+        failures.append(
+            f"fixed-pool p999 {tail_warm:g} ms is not below scale-to-zero's "
+            f"{tail_cold:g} ms; the warm pool must buy the tail back"
+        )
+    if counters.get("eventcore.kicks.serve_scale_to_zero", 0) <= 0:
+        failures.append(
+            "scale-to-zero recorded no EventCore kicks; dispatch cannot "
+            "have woken pooled workers"
+        )
+    return failures
+
+
+def write_result(result: Dict[str, Any], path: pathlib.Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def render_summary(result: Dict[str, Any]) -> str:
+    """Human-readable scenario table for the CLI."""
+    counters, gauges = result["counters"], result["gauges"]
+    sections = sorted(
+        key[len("serve.requests."):]
+        for key in gauges if key.startswith("serve.requests.")
+    )
+    lines = [
+        f"{'scenario':<22} {'served':>7} {'spawned':>8} {'cold%':>7} "
+        f"{'p50ms':>7} {'p999ms':>8} {'guest-s':>9}"
+    ]
+    for section in sections:
+        lines.append(
+            f"{section:<22} "
+            f"{int(gauges[f'serve.requests.{section}']):>7} "
+            f"{int(gauges[f'serve.guests_spawned.{section}']):>8} "
+            f"{gauges[f'serve.cold_start_fraction.{section}']:>7.3%} "
+            f"{gauges[f'serve.latency_p50_ms.{section}']:>7.3f} "
+            f"{gauges[f'serve.latency_p999_ms.{section}']:>8.3f} "
+            f"{gauges[f'serve.guest_seconds.{section}']:>9.1f}"
+        )
+    for section in sections:
+        first = counters[f"serve.manifest_digest48.{section}"]
+        rerun = counters[f"serve.manifest_digest48.{section}.rerun"]
+        lines.append(
+            f"{section} manifest digest48: {first:012x} "
+            f"(rerun matches: {first == rerun})"
+        )
+    return "\n".join(lines)

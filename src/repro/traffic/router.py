@@ -1,0 +1,269 @@
+"""The request router: warm-pool dispatch, cold boots, capacity queueing.
+
+One :class:`Router` per serving run.  Each arrival goes to the warm pool
+of its app (guests are per-app, so the kernel variant is implied by the
+run's :class:`~repro.core.orchestrator.KernelPolicy` through
+``KernelOrchestrator.variant_for``); on a miss the router cold-boots a
+fresh guest through the full ``GuestSpec -> build -> boot`` pipeline --
+the paper's Fig 7 boot cost, landing inside that request's latency --
+and at capacity the arrival queues FIFO behind its app.
+
+Workers are :class:`EventCore` programs.  An idle worker enters the
+app's warm pool (LIFO, for keepalive locality) and either arms its idle
+timeout as a virtual deadline or yields ``PARK``; the router wakes it
+with :meth:`EventCore.kick` when traffic lands.  A timed-out worker
+retires -- full ``shutdown`` -- unless the policy's ``min_warm`` floor
+pins it, in which case it parks until kicked.  All of it is virtual-time
+events on the one global heap; nothing polls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.simcore.eventcore import PARK, EventCore, drain_deadlines
+from repro.traffic.arrivals import Arrival
+from repro.traffic.policy import WarmPoolPolicy
+
+
+@dataclass(eq=False)  # identity semantics: pool membership is per-object
+class GuestWorker:
+    """One serving guest: lifecycle state the router tracks around it."""
+
+    name: str
+    app: str
+    guest: object
+    #: Virtual instant the worker was spawned (arrival time for cold
+    #: boots, zero for pre-warmed workers).
+    spawn_ns: float
+    #: Whether the first request this worker serves is a cold start.
+    cold_pending: bool
+    inbox: Deque[Arrival] = field(default_factory=deque)
+    boot_ms: float = 0.0
+    served: int = 0
+    retiring: bool = False
+    retired: bool = False
+    retire_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One served request's outcome."""
+
+    index: int
+    app: str
+    latency_ns: float
+    cold: bool
+
+
+class Router:
+    """Dispatches arrivals across warm pools, cold boots, and queues."""
+
+    def __init__(self, core: EventCore, orchestrator, policy: WarmPoolPolicy,
+                 apps: List[str]) -> None:
+        self.core = core
+        self.orchestrator = orchestrator
+        self.policy = policy
+        self.apps = list(apps)
+        self.pools: Dict[str, List[GuestWorker]] = {a: [] for a in self.apps}
+        self.backlog: Dict[str, Deque[Arrival]] = {
+            a: deque() for a in self.apps
+        }
+        self.live: Dict[str, int] = {a: 0 for a in self.apps}
+        self.total_live = 0
+        self.peak_live = 0
+        self.workers: List[GuestWorker] = []
+        self.samples: List[LatencySample] = []
+        self.cold_starts = 0
+        self.queued = 0
+        self.queue_high_water = 0
+        self.dropped = 0
+        self._profiles = {a: self._profile(a) for a in self.apps}
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, arrival: Arrival) -> None:
+        """Route one arrival: warm hit, cold boot, or capacity queue."""
+        pool = self.pools[arrival.app]
+        if pool:
+            worker = pool.pop()  # LIFO: most-recently-idle first
+            worker.inbox.append(arrival)
+            self.core.kick(worker.name, arrival.arrival_ns)
+            return
+        if self._can_spawn(arrival.app):
+            self._spawn(arrival.app, start_ns=arrival.arrival_ns,
+                        first=arrival)
+            return
+        self.backlog[arrival.app].append(arrival)
+        self.queued += 1
+        depth = sum(len(q) for q in self.backlog.values())
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+
+    def drop(self, arrival: Arrival) -> None:
+        """An arrival the fault plane failed: counted, never served."""
+        self.dropped += 1
+
+    def next_arrival_hint(self, source) -> Optional[float]:
+        """The router's idea of the next arrival: what the source armed."""
+        return source.next_arrival_ns
+
+    def pre_warm(self) -> None:
+        """Spawn the policy's pre-warmed workers per app at virtual zero."""
+        for app in self.apps:
+            for _ in range(min(self.policy.pre_warm,
+                               self.policy.max_per_app)):
+                if self.total_live >= self.policy.max_total:
+                    return
+                self._spawn(app, start_ns=0.0, first=None)
+
+    def finalize(self) -> None:
+        """After quiescence: retire every still-live worker.
+
+        ``EventCore.run()`` returned, so every live worker is parked (or
+        floor-pinned); mark them retiring and wake them so their
+        programs run the shutdown path, then ``run()`` the core again.
+        """
+        for worker in self.workers:
+            if worker.retired:
+                continue
+            worker.retiring = True
+            self.core.kick(worker.name, worker.guest.clock.now_ns)
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _can_spawn(self, app: str) -> bool:
+        return (self.live[app] < self.policy.max_per_app
+                and self.total_live < self.policy.max_total)
+
+    def _spawn(self, app: str, start_ns: float,
+               first: Optional[Arrival]) -> None:
+        from repro.apps.registry import get_app
+        from repro.simcore.guest import Guest, GuestSpec
+
+        application = get_app(app)
+        index = len(self.workers)
+        spec = GuestSpec(
+            name=f"serve-{app}-{index:05d}",
+            variant=self.orchestrator.variant_for(application),
+            app=app,
+            full_image=True,
+        )
+        guest = Guest(
+            spec,
+            clock=self.core.clock_for(spec.name),
+            unikernel=self.orchestrator.unikernel_for(application),
+        )
+        worker = GuestWorker(
+            name=spec.name, app=app, guest=guest, spawn_ns=start_ns,
+            cold_pending=first is not None,
+        )
+        if first is not None:
+            worker.inbox.append(first)
+            self.cold_starts += 1
+        self.workers.append(worker)
+        self.live[app] += 1
+        self.total_live += 1
+        if self.total_live > self.peak_live:
+            self.peak_live = self.total_live
+        self.core.spawn(spec.name, self._worker_program(worker),
+                        start_ns=start_ns)
+
+    def _worker_program(self, worker: GuestWorker):
+        guest = worker.guest
+        guest.build()
+        yield None  # BUILT at the spawn instant; boot is the next stage
+        worker.boot_ms = guest.boot().total_ms
+        yield None
+        while True:
+            arrival = self._take_work(worker)
+            if arrival is not None:
+                self._serve_one(worker, arrival)
+                yield None
+                continue
+            if worker.retiring:
+                self._leave_pool(worker)
+                break
+            self._enter_pool(worker)
+            timeout_ns = self.policy.idle_timeout_ns
+            if timeout_ns is None:
+                yield PARK  # keepalive forever: only a kick wakes us
+                continue
+            yield guest.clock.now_ns + timeout_ns
+            if worker.inbox or worker.retiring:
+                continue  # kicked awake with work (or into retirement)
+            # The idle timeout genuinely expired: scale to zero, unless
+            # the policy floor pins this worker warm.
+            if self.live[worker.app] - 1 >= self.policy.min_warm:
+                self._leave_pool(worker)
+                break
+            yield PARK
+        yield from drain_deadlines(guest.clock)
+        guest.shutdown()
+        self._on_retired(worker)
+
+    def _take_work(self, worker: GuestWorker) -> Optional[Arrival]:
+        if worker.inbox:
+            return worker.inbox.popleft()
+        backlog = self.backlog[worker.app]
+        if backlog:
+            return backlog.popleft()
+        return None
+
+    def _serve_one(self, worker: GuestWorker, arrival: Arrival) -> None:
+        guest = worker.guest
+        cold = worker.cold_pending
+        worker.cold_pending = False
+        guest.serve(self._profiles[worker.app], 1)
+        worker.served += 1
+        self.samples.append(LatencySample(
+            index=arrival.index,
+            app=arrival.app,
+            latency_ns=guest.clock.now_ns - arrival.arrival_ns,
+            cold=cold,
+        ))
+
+    def _enter_pool(self, worker: GuestWorker) -> None:
+        self.pools[worker.app].append(worker)
+
+    def _leave_pool(self, worker: GuestWorker) -> None:
+        pool = self.pools[worker.app]
+        if worker in pool:
+            pool.remove(worker)
+
+    def _on_retired(self, worker: GuestWorker) -> None:
+        worker.retired = True
+        worker.retire_ns = worker.guest.clock.now_ns
+        self.live[worker.app] -= 1
+        self.total_live -= 1
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def spawned(self) -> int:
+        return len(self.workers)
+
+    @property
+    def retired_count(self) -> int:
+        return sum(1 for worker in self.workers if worker.retired)
+
+    @property
+    def guest_seconds(self) -> float:
+        """Booted-guest lifetime paid across the run, in virtual seconds."""
+        total = 0.0
+        for worker in self.workers:
+            end = (worker.retire_ns if worker.retire_ns is not None
+                   else worker.guest.clock.now_ns)
+            total += max(0.0, end - worker.spawn_ns)
+        return total / 1e9
+
+    @staticmethod
+    def _profile(app: str):
+        from repro.core.orchestrator import serving_profile
+
+        profile = serving_profile(app)
+        if profile is None:
+            raise ValueError(f"app {app!r} has no serving profile")
+        return profile

@@ -1,0 +1,238 @@
+"""One traffic-driven serving run: trace in, latency report out.
+
+:func:`run_serving` wires the pieces together on a fresh
+:class:`~repro.simcore.eventcore.EventCore`:
+
+1. the router pre-warms whatever the policy asks for;
+2. the *arrivals program* walks the trace, arming each arrival on the
+   arrivals clock and dispatching it through the router inside the
+   ``traffic.arrival`` fault site (an injected fault drops the request,
+   deterministically; a fault hang delays every subsequent arrival);
+3. ``core.run()`` drains the heap to quiescence -- all traffic served,
+   all idle timeouts resolved, every surviving worker parked;
+4. the router retires the survivors and the core runs once more, so
+   guest-seconds cover each worker's full life.
+
+The outcome is a :class:`ServingReport` whose canonical manifest -- and
+therefore SHA-256 digest -- is a pure function of the
+:class:`ServeSpec`: same spec, same bytes, under either warm-pool
+policy, which is the determinism contract ``bench-serve --check`` and
+the tests assert.  Execution counters (events dispatched, parks/kicks)
+stay *outside* the manifest, exactly like ``FleetSimulation``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.orchestrator import KernelOrchestrator, KernelPolicy
+from repro.simcore.eventcore import EventCore
+from repro.traffic.arrivals import ArrivalSource, TraceSpec, curated_apps
+from repro.traffic.policy import WarmPoolPolicy
+from repro.traffic.router import Router
+
+#: Serving-report manifest format (documented in EXPERIMENTS.md).
+SERVE_SCHEMA_VERSION = 1
+
+#: File ``fleet-serve`` writes the report manifest to.
+SERVE_REPORT_NAME = "serve_report.json"
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """Everything one serving run depends on (the digest's input)."""
+
+    trace: TraceSpec
+    policy: WarmPoolPolicy
+    seed: int = 0
+    kernel_policy: KernelPolicy = KernelPolicy.GENERAL
+    kml: bool = True
+
+
+@dataclass
+class ServingReport:
+    """The deterministic outcome of one :func:`run_serving` run."""
+
+    spec: ServeSpec
+    served: int = 0
+    dropped: int = 0
+    clamped: int = 0
+    cold_starts: int = 0
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    queue_high_water: int = 0
+    queued: int = 0
+    guests_spawned: int = 0
+    guests_retired: int = 0
+    peak_live: int = 0
+    guest_seconds: float = 0.0
+    per_app: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Execution counters (EventCoreStats), deliberately manifest-external.
+    eventcore_stats: Optional[object] = None
+
+    @property
+    def cold_start_fraction(self) -> float:
+        return self.cold_starts / self.served if self.served else 0.0
+
+    def manifest(self) -> Dict[str, object]:
+        """The canonical JSON-able manifest (digest input)."""
+        return {
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "trace": self.spec.trace.to_manifest(),
+            "policy": self.spec.policy.to_manifest(),
+            "seed": self.spec.seed,
+            "kernel_policy": self.spec.kernel_policy.value,
+            "kml": self.spec.kml,
+            "served": self.served,
+            "dropped": self.dropped,
+            "clamped": self.clamped,
+            "cold_starts": self.cold_starts,
+            "cold_start_fraction": self.cold_start_fraction,
+            "latency_ms": self.latency_ms,
+            "queue": {
+                "high_water": self.queue_high_water,
+                "queued_requests": self.queued,
+            },
+            "guests": {
+                "spawned": self.guests_spawned,
+                "retired": self.guests_retired,
+                "peak_live": self.peak_live,
+                "guest_seconds": self.guest_seconds,
+            },
+            "per_app": self.per_app,
+        }
+
+    @property
+    def manifest_digest(self) -> str:
+        """SHA-256 over the canonical manifest encoding."""
+        encoded = json.dumps(
+            self.manifest(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        """Human-readable run summary (the CLI surface)."""
+        lines = [
+            f"serving run: {self.spec.trace.kind} trace, "
+            f"{self.spec.trace.requests} requests, "
+            f"policy {self.spec.policy.name}, seed {self.spec.seed}",
+            f"  served        : {self.served} "
+            f"(dropped {self.dropped}, queued {self.queued})",
+            f"  latency ms    : p50 {self.latency_ms.get('p50', 0.0):.3f}  "
+            f"p99 {self.latency_ms.get('p99', 0.0):.3f}  "
+            f"p999 {self.latency_ms.get('p999', 0.0):.3f}  "
+            f"max {self.latency_ms.get('max', 0.0):.3f}",
+            f"  cold starts   : {self.cold_starts} "
+            f"({self.cold_start_fraction:.2%} of served)",
+            f"  queue depth   : high water {self.queue_high_water}",
+            f"  guests        : {self.guests_spawned} spawned, "
+            f"{self.guests_retired} retired, peak live {self.peak_live}",
+            f"  guest-seconds : {self.guest_seconds:.3f}",
+            f"  manifest      : sha256 {self.manifest_digest[:16]}...",
+        ]
+        return "\n".join(lines)
+
+
+def percentile_ns(sorted_samples: List[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+def _arrivals_program(source: ArrivalSource, router: Router):
+    from repro.faults import FaultInjected, fault_site
+
+    while True:
+        deadline = source.arm_next()
+        if deadline is None:
+            return
+        yield deadline
+        arrival = source.take()
+        try:
+            with fault_site("traffic.arrival"):
+                router.dispatch(arrival)
+        except FaultInjected:
+            router.drop(arrival)
+
+
+def run_serving(spec: ServeSpec) -> ServingReport:
+    """Execute one traffic-driven serving run; fully deterministic."""
+    core = EventCore()
+    orchestrator = KernelOrchestrator(policy=spec.kernel_policy,
+                                      kml=spec.kml)
+    apps = curated_apps()
+    router = Router(core=core, orchestrator=orchestrator,
+                    policy=spec.policy, apps=apps)
+    router.pre_warm()
+    source = ArrivalSource(spec.trace, spec.seed,
+                           core.clock_for("arrivals"), apps)
+    core.spawn("arrivals", _arrivals_program(source, router))
+    core.run()          # to quiescence: traffic served, timeouts resolved
+    router.finalize()   # retire the parked survivors
+    stats = core.run()
+    return _report(spec, source, router, stats)
+
+
+def _report(spec: ServeSpec, source: ArrivalSource, router: Router,
+            stats) -> ServingReport:
+    samples = sorted(s.latency_ns for s in router.samples)
+    latency_ms = {
+        "p50": percentile_ns(samples, 0.50) / 1e6,
+        "p99": percentile_ns(samples, 0.99) / 1e6,
+        "p999": percentile_ns(samples, 0.999) / 1e6,
+        "max": (samples[-1] / 1e6) if samples else 0.0,
+        "mean": (sum(samples) / len(samples) / 1e6) if samples else 0.0,
+    }
+    per_app: Dict[str, Dict[str, int]] = {}
+    for sample in router.samples:
+        entry = per_app.setdefault(
+            sample.app, {"requests": 0, "cold_starts": 0, "spawned": 0}
+        )
+        entry["requests"] += 1
+        if sample.cold:
+            entry["cold_starts"] += 1
+    for worker in router.workers:
+        per_app.setdefault(
+            worker.app, {"requests": 0, "cold_starts": 0, "spawned": 0}
+        )["spawned"] += 1
+    report = ServingReport(
+        spec=spec,
+        served=len(router.samples),
+        dropped=router.dropped,
+        clamped=source.clamped,
+        cold_starts=router.cold_starts,
+        latency_ms=latency_ms,
+        queue_high_water=router.queue_high_water,
+        queued=router.queued,
+        guests_spawned=router.spawned,
+        guests_retired=router.retired_count,
+        peak_live=router.peak_live,
+        guest_seconds=round(router.guest_seconds, 9),
+        per_app={app: per_app[app] for app in sorted(per_app)},
+        eventcore_stats=stats,
+    )
+    _publish_metrics(report)
+    return report
+
+
+def _publish_metrics(report: ServingReport) -> None:
+    from repro.observe import METRICS
+
+    METRICS.counter("traffic.requests_served").inc(report.served)
+    METRICS.counter("traffic.requests_dropped").inc(report.dropped)
+    METRICS.counter("traffic.requests_queued").inc(report.queued)
+    METRICS.counter("traffic.cold_starts").inc(report.cold_starts)
+    METRICS.counter("traffic.guests_spawned").inc(report.guests_spawned)
+    METRICS.counter("traffic.guests_retired").inc(report.guests_retired)
+    METRICS.gauge("traffic.queue_high_water").set(
+        float(report.queue_high_water)
+    )
+    METRICS.gauge("traffic.guest_seconds").set(report.guest_seconds)
+    histogram = METRICS.histogram("traffic.request_latency_ms")
+    for key in ("p50", "p99", "p999"):
+        histogram.observe(report.latency_ms.get(key, 0.0))

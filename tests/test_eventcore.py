@@ -11,6 +11,7 @@ byte-for-byte, at acceptance scale, across seeds and policies.
 import pytest
 
 from repro.simcore.eventcore import (
+    PARK,
     EventCore,
     EventCoreError,
     drain_deadlines,
@@ -182,6 +183,164 @@ class TestEventCore:
         assert dispatched.value - before[0] == stats.events_dispatched
         assert forwarded.value - before[1] == stats.guests_fast_forwarded
         assert stats.to_dict()["heap_high_water"] == stats.heap_high_water
+
+
+class TestParkAndKick:
+    """The serving extensions: PARK/unpark, kicks, and timed spawns."""
+
+    def test_parked_runner_survives_run_and_resumes_on_kick(self):
+        core = EventCore()
+        log = []
+
+        def program():
+            log.append("before")
+            yield PARK
+            log.append("after")
+
+        core.spawn("g", program())
+        core.run()
+        assert log == ["before"]  # quiescent with the runner parked
+        assert core.is_parked("g")
+        core.kick("g", 40.0)
+        core.run()
+        assert log == ["before", "after"]
+        assert not core.is_parked("g")
+        assert core.clock_for("g").now_ns == 40.0
+
+    def test_unpark_requires_a_parked_runner(self):
+        core = EventCore()
+
+        def program():
+            yield None
+
+        core.spawn("g", program())
+        with pytest.raises(EventCoreError):
+            core.unpark("g")
+        with pytest.raises(EventCoreError):
+            core.unpark("missing")
+
+    def test_kick_preempts_a_pending_deadline(self):
+        core = EventCore()
+        woken_at = []
+
+        def program():
+            clock = core.clock_for("g")
+            yield clock.now_ns + 100.0  # long idle timeout
+            woken_at.append(clock.now_ns)
+
+        def traffic():
+            yield 25.0  # traffic lands before the timeout
+            core.kick("g", 25.0)
+
+        core.spawn("g", program())
+        core.spawn("t", traffic())
+        stats = core.run()
+        # The kick's generation bump invalidated the 100.0 heap entry:
+        # the runner wakes once, at the kick instant, and the stale
+        # entry is skipped without counting as a dispatch.
+        assert woken_at == [25.0]
+        assert stats.kicks == 1
+
+    def test_kick_never_moves_a_clock_backwards(self):
+        core = EventCore()
+
+        def program():
+            clock = core.clock_for("g")
+            clock.advance(50.0)
+            yield PARK
+            assert clock.now_ns == 50.0
+
+        core.spawn("g", program())
+        core.run()
+        core.kick("g", 10.0)  # behind the runner's own now: clamped
+        core.run()
+
+    def test_spawn_start_ns_defers_first_dispatch(self):
+        core = EventCore()
+        instants = []
+
+        def early():
+            clock = core.clock_for("early")
+            instants.append(("early", clock.now_ns))
+            clock.advance(5.0)
+            yield None
+
+        def late():
+            instants.append(("late", core.clock_for("late").now_ns))
+            yield None
+
+        core.spawn("late", late(), start_ns=30.0)
+        core.spawn("early", early())
+        core.run()
+        # The deferred runner dispatches at its start instant, after the
+        # immediate one, with its clock fast-forwarded there.
+        assert instants == [("early", 0.0), ("late", 30.0)]
+
+    def test_park_and_kick_stats_published_as_deltas(self):
+        from repro.observe import METRICS
+
+        parks = METRICS.counter("eventcore.parks")
+        kicks = METRICS.counter("eventcore.kicks")
+        before = (parks.value, kicks.value)
+        core = EventCore()
+
+        def program():
+            yield PARK
+            yield PARK
+
+        core.spawn("g", program())
+        core.run()           # first park published here...
+        core.kick("g", 1.0)
+        core.run()           # ...second park here; deltas must not recount
+        assert parks.value - before[0] == 2
+        assert kicks.value - before[1] == 1
+        assert core.stats.parks == 2
+        assert core.stats.kicks == 1
+
+    def test_resumed_run_is_quiescence_not_termination(self):
+        core = EventCore()
+        served = []
+
+        def worker():
+            while True:
+                yield PARK
+                if inbox:
+                    served.append(inbox.pop())
+
+        inbox = []
+        core.spawn("w", worker())
+        core.run()
+        for item, at in ((1, 10.0), (2, 20.0)):
+            inbox.append(item)
+            core.kick("w", at)
+            core.run()
+        assert served == [1, 2]
+
+
+class TestFleetEdgeCases:
+    def test_zero_guest_fleet_is_empty_but_well_formed(self):
+        from repro.core.orchestrator import Fleet, KernelPolicy
+
+        simulation = Fleet.simulate(0, policy=KernelPolicy.GENERAL, seed=1)
+        manifest = simulation.manifest()
+        assert manifest["count"] == 0
+        assert manifest["guests"] == []
+        assert simulation.manifest_digest  # digestable, not degenerate
+        assert simulation.distinct_kernels == 0
+
+    def test_negative_fleet_size_rejected(self):
+        from repro.core.orchestrator import Fleet
+
+        with pytest.raises(ValueError, match="negative"):
+            Fleet.simulate(-1)
+
+    def test_duplicate_guest_names_rejected_up_front(self):
+        from repro.core.orchestrator import Fleet
+        from repro.simcore.guest import GuestSpec
+
+        spec = GuestSpec(name="twin", variant=None, app="redis")
+        with pytest.raises(ValueError, match="duplicate guest name"):
+            Fleet._validate_specs([spec, spec])
 
 
 class TestServeChunksParity:

@@ -403,8 +403,12 @@ class TestFleetSimulate:
             entry.uptime_ns > 0 for entry in simulation.entries
         )  # boot advanced every guest's own clock
 
-    def test_rejects_empty_fleet(self):
+    def test_empty_fleet_is_well_formed_but_negative_rejected(self):
         from repro.core.orchestrator import Fleet
 
+        # Zero guests is a valid (empty) fleet with a defined manifest;
+        # only negative sizes are rejected.  The full empty-manifest
+        # shape is pinned in tests/test_eventcore.py.
+        assert Fleet.simulate(0).manifest()["guests"] == []
         with pytest.raises(ValueError):
-            Fleet.simulate(0)
+            Fleet.simulate(-1)

@@ -32,6 +32,18 @@
 # pinning bit-identical fleet behaviour under either execution strategy
 # -- against benchmarks/baseline/BENCH_guests.json.
 #
+# The serving gate runs bench-serve --check (the canonical 100k-request
+# diurnal trace per warm-pool policy, each run twice: manifests must
+# reproduce byte-identically, scale-to-zero must cold-boot >= 1000
+# guests with a nonzero cold-start fraction, and the fixed pool must buy
+# the latency tail back) and regresses its counters -- including all
+# four serving manifest digests -- against
+# benchmarks/baseline/BENCH_serve.json.
+#
+# The docs-link check (tools/check_docs_links.py) fails on any relative
+# markdown link in README.md/DESIGN.md/EXPERIMENTS.md/ROADMAP.md/docs/
+# that no longer resolves to a file in the repository.
+#
 # The chaos gate runs the full suite twice under the same seeded fault
 # schedule (repro-lupine chaos) and asserts the resilience invariants:
 # every experiment ends with a definite status, manifest/trace/metrics
@@ -46,6 +58,9 @@ REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 echo "==> single-time-authority lint"
 python "$REPO_ROOT/tools/lint_time.py"
+
+echo "==> docs dead-link check"
+python "$REPO_ROOT/tools/check_docs_links.py"
 
 echo "==> tier-1 test suite"
 (cd "$REPO_ROOT" && PYTHONPATH=src python -m pytest -q)
@@ -92,6 +107,15 @@ PYTHONHASHSEED=0 PYTHONPATH=src python -m repro.cli bench-guests --check \
     --global-loop --output-dir "$RUN_DIR"
 PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline/BENCH_guests.json "$RUN_DIR/BENCH_guests.json" \
+    --no-timings
+
+echo "==> traffic-serving microbenchmark + determinism + counter gate"
+# PYTHONHASHSEED=0: serving manifests inherit the same set-ordered config
+# float derivations as fleet manifests; the pinned digests assume it.
+PYTHONHASHSEED=0 PYTHONPATH=src python -m repro.cli bench-serve --check \
+    --output-dir "$RUN_DIR"
+PYTHONPATH=src python -m repro.observe.regress \
+    benchmarks/baseline/BENCH_serve.json "$RUN_DIR/BENCH_serve.json" \
     --no-timings
 
 echo "==> all checks passed"

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Dead-link check for the repo's markdown documentation.
+
+Walks the navigable docs -- ``README.md``, ``DESIGN.md``,
+``EXPERIMENTS.md``, ``ROADMAP.md`` and everything under ``docs/`` -- and
+verifies that every *relative* markdown link resolves to a real file or
+directory in the repository.  External links (``http://``, ``https://``,
+``mailto:``) and pure in-page anchors (``#section``) are skipped; a
+``path#fragment`` link is checked for the path only.
+
+The point: the README/docs cross-link mesh is the system's navigation
+surface, and a rename that strands a link should fail CI the same way a
+broken import does.  Run ``python tools/check_docs_links.py`` (exit 1 on
+dead links); wired into ``tools/check.sh``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Documents whose links must stay alive.  ``docs/`` is globbed whole.
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+DOC_DIRS = ("docs",)
+
+#: Inline markdown links: ``[text](target)``.  Good enough for our docs
+#: -- no reference-style links, no angle-bracket targets.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not repo-relative paths.
+EXTERNAL = re.compile(r"^(https?|mailto|ftp):")
+
+
+def doc_paths() -> Iterator[pathlib.Path]:
+    for name in DOC_FILES:
+        path = REPO_ROOT / name
+        if path.is_file():
+            yield path
+    for name in DOC_DIRS:
+        yield from sorted((REPO_ROOT / name).glob("*.md"))
+
+
+def relative_links(path: pathlib.Path) -> Iterator[Tuple[int, str]]:
+    """(line number, target) for each relative link in *path*."""
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if EXTERNAL.match(target) or target.startswith("#"):
+                continue
+            yield lineno, target
+
+
+def check_links() -> List[str]:
+    failures: List[str] = []
+    checked = 0
+    for path in doc_paths():
+        for lineno, target in relative_links(path):
+            checked += 1
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: dead link "
+                    f"-> {target}"
+                )
+    if not failures:
+        print(f"check_docs_links: ok ({checked} relative links resolve)")
+    return failures
+
+
+def main() -> int:
+    failures = check_links()
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"check_docs_links: {len(failures)} dead link(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

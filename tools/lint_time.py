@@ -46,7 +46,9 @@ ALLOWED = ("simcore", "observe")
 
 #: Fleet code paths (relative to src/repro): modules that orchestrate
 #: many guests and therefore must source clocks from the EventCore.
-FLEET_PATHS = ("core/orchestrator.py",)
+#: Entries ending in "/" cover a whole directory (every module of the
+#: traffic layer routes across fleet timelines).
+FLEET_PATHS = ("core/orchestrator.py", "traffic/")
 
 #: Class-level field names that smell like a private timeline.  Duration
 #: parameters and result records (``deadline_ms``, ``elapsed_ns``, ...)
@@ -117,6 +119,17 @@ def lint_file(path: pathlib.Path, fleet_path: bool = False) -> List[str]:
     return violations
 
 
+def _is_fleet_path(posix_relative: str) -> bool:
+    """True when the module falls under a :data:`FLEET_PATHS` entry."""
+    for entry in FLEET_PATHS:
+        if entry.endswith("/"):
+            if posix_relative.startswith(entry):
+                return True
+        elif posix_relative == entry:
+            return True
+    return False
+
+
 def lint_tree() -> List[str]:
     violations: List[str] = []
     for path in sorted(SRC_ROOT.rglob("*.py")):
@@ -124,7 +137,7 @@ def lint_tree() -> List[str]:
         if relative.parts and relative.parts[0] in ALLOWED:
             continue
         violations.extend(lint_file(
-            path, fleet_path=relative.as_posix() in FLEET_PATHS
+            path, fleet_path=_is_fleet_path(relative.as_posix())
         ))
     return violations
 
