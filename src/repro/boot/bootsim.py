@@ -112,8 +112,11 @@ class BootSimulator:
     @staticmethod
     def _initcalls_ms(image: KernelImage) -> float:
         config = image.config
+        # Sorted fold: ``config.enabled`` is a frozenset, so iteration
+        # order -- and therefore the float sum -- would otherwise vary
+        # with PYTHONHASHSEED.  Boot times feed fleet manifest digests.
         total_us = sum(
-            config.tree[name].boot_cost_us for name in config.enabled
+            config.tree[name].boot_cost_us for name in sorted(config.enabled)
         )
         total_us *= INITCALL_ASYNC_FACTOR
         total_us += INITCALL_DISPATCH_US * len(config.enabled)

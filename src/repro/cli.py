@@ -212,13 +212,15 @@ def _cmd_bench_guests(args: argparse.Namespace) -> int:
     from repro.harness.runner import default_output_dir
     from repro.simcore.bench import (
         BENCH_GUESTS_NAME,
+        DEFAULT_SHARD_JOBS,
         check_result,
         render_summary,
         run_bench,
         write_result,
     )
 
-    result = run_bench(global_loop=args.global_loop)
+    jobs = DEFAULT_SHARD_JOBS if args.jobs is None else args.jobs
+    result = run_bench(global_loop=args.global_loop, jobs=jobs)
     output_dir = (
         pathlib.Path(args.output_dir)
         if args.output_dir is not None else default_output_dir()
@@ -248,11 +250,11 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     from repro.harness.runner import default_output_dir
     from repro.traffic.arrivals import bursty_trace, poisson_trace
     from repro.traffic.bench import canonical_trace
-    from repro.traffic.policy import named_policy
+    from repro.traffic.policy import named_policy, policy_names
     from repro.traffic.serve import (
         SERVE_REPORT_NAME,
         ServeSpec,
-        run_serving,
+        run_serving_many,
     )
 
     if args.trace == "diurnal":
@@ -268,7 +270,6 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         rps = args.mean_rps or 1000
         trace = bursty_trace(requests=args.requests,
                              on_rps=4 * rps, off_rps=max(rps / 4, 1.0))
-    policy = named_policy(args.policy)
     overrides = {}
     if args.guests is not None:
         overrides["max_total"] = args.guests
@@ -276,25 +277,38 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         overrides["idle_timeout_s"] = (
             None if args.idle_timeout <= 0 else args.idle_timeout
         )
-    if overrides:
-        policy = policy.with_overrides(**overrides)
-    spec = ServeSpec(trace=trace, policy=policy, seed=args.seed)
-    report = run_serving(spec)
-    print(report.render())
+    # ``--policy all``: a policy sweep of whole runs, fanned out across
+    # worker processes by --jobs (run-level parallelism; a single run
+    # never shards -- see docs/SERVING.md).
+    selected = (list(policy_names()) if args.policy == "all"
+                else [args.policy])
+    specs = []
+    for name in selected:
+        policy = named_policy(name)
+        if overrides:
+            policy = policy.with_overrides(**overrides)
+        specs.append(ServeSpec(trace=trace, policy=policy, seed=args.seed))
+    reports = run_serving_many(specs, jobs=args.jobs)
     output_dir = (
         pathlib.Path(args.output_dir)
         if args.output_dir is not None else default_output_dir()
     )
-    report_path = output_dir / SERVE_REPORT_NAME
-    report_path.parent.mkdir(parents=True, exist_ok=True)
+    output_dir.mkdir(parents=True, exist_ok=True)
     import json
 
-    report_path.write_text(
-        json.dumps(report.manifest(), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    print(f"report       : {report_path}")
-    print(f"digest       : sha256 {report.manifest_digest}")
+    for name, report in zip(selected, reports):
+        print(report.render())
+        report_name = (
+            SERVE_REPORT_NAME if len(selected) == 1
+            else f"serve_report.{name}.json"
+        )
+        report_path = output_dir / report_name
+        report_path.write_text(
+            json.dumps(report.manifest(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report       : {report_path}")
+        print(f"digest       : sha256 {report.manifest_digest}")
     return 0
 
 
@@ -623,8 +637,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--check", action="store_true",
                      help="exit 1 unless the general fleet boots >= 1000 "
                           "monitor-checked guests on exactly one shared "
-                          "kernel, the per-app fleet diversifies, and "
-                          "(with --global-loop) the global event loop "
+                          "kernel, the per-app fleet diversifies, the "
+                          "cohort and sharded 10k-guest fleets reproduce "
+                          "their single-process oracles' manifest digests "
+                          "at the throughput floor, and (with "
+                          "--global-loop) the global event loop "
                           "reproduces the sequential oracle's manifest "
                           "digest")
     sub.add_argument("--global-loop", action="store_true",
@@ -632,6 +649,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "event loop (guests interleaved in virtual-time "
                           "order) and record its guests/sec + manifest "
                           "digest")
+    sub.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for the sharded 10k-guest "
+                          "fleet scenario (default 2; the merged manifest "
+                          "digest is identical for any N)")
     sub.add_argument("--snapshot", default=None, metavar="PATH",
                      help="also write the result JSON to PATH (e.g. "
                           "benchmarks/baseline/BENCH_guests.json)")
@@ -647,10 +668,11 @@ def build_parser() -> argparse.ArgumentParser:
              "writes serve_report.json)",
     )
     sub.add_argument("--policy", default="scale-to-zero",
-                     choices=__import__(
+                     choices=list(__import__(
                          "repro.traffic.policy", fromlist=["policy_names"]
-                     ).policy_names(),
-                     help="warm-pool policy preset (default scale-to-zero)")
+                     ).policy_names()) + ["all"],
+                     help="warm-pool policy preset (default scale-to-zero; "
+                          "'all' sweeps every preset as independent runs)")
     sub.add_argument("--trace", default="diurnal",
                      choices=["diurnal", "poisson", "bursty"],
                      help="arrival process (default: the canonical "
@@ -668,9 +690,14 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="scale-to-zero idle timeout override "
                           "(<= 0: keep warm guests alive forever)")
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for --policy all sweeps "
+                          "(whole runs fan out; a single run never "
+                          "shards -- see docs/SERVING.md)")
     sub.add_argument("--output-dir", default=None, metavar="DIR",
-                     help="where serve_report.json lands "
-                          "(default: benchmarks/output/)")
+                     help="where serve_report.json lands (per-policy "
+                          "serve_report.<policy>.json for --policy all; "
+                          "default: benchmarks/output/)")
     sub.set_defaults(func=_cmd_fleet_serve)
 
     sub = subparsers.add_parser(

@@ -83,6 +83,8 @@ class Fleet:
         requests_per_guest: int = 32,
         kml: bool = True,
         global_loop: bool = False,
+        cohort: bool = False,
+        jobs: int = 1,
     ) -> "FleetSimulation":
         """Boot and drive *count* guests under *policy*; fully deterministic.
 
@@ -104,11 +106,28 @@ class Fleet:
         manifest digest is byte-identical to the sequential path -- the
         sequential path *is* the differential oracle, asserted by tests
         and the ``bench-guests --global-loop`` gate.
+
+        ``cohort=True`` runs the cohort-vectorized fold: guests with the
+        same application (hence identical spec, kernel and request
+        profile) simulate one *representative* whose per-guest costs are
+        replayed across the cohort.  Bit-identical to the sequential
+        oracle -- see :meth:`_simulate_cohort`.
+
+        ``jobs > 1`` shards the fleet across worker processes
+        (:mod:`repro.harness.shardpool`): contiguous index ranges,
+        deterministically merged, the same manifest digest as ``jobs=1``
+        for any job count.  ``cohort`` selects the fold each shard runs.
         """
         from repro.apps.registry import top20_in_popularity_order
 
         if count < 0:
             raise ValueError(f"fleet size cannot be negative (got {count})")
+        jobs = max(1, int(jobs))
+        if global_loop and (cohort or jobs > 1):
+            raise ValueError(
+                "global_loop is an execution strategy of its own; combine "
+                "cohort/jobs with the sequential path instead"
+            )
         orchestrator = KernelOrchestrator(policy=policy, kml=kml)
         if count == 0:
             # Empty-but-well-formed: the manifest (and its digest) is
@@ -123,20 +142,32 @@ class Fleet:
         drawn = rng.choices(
             apps, weights=[app.downloads_billions for app in apps], k=count
         )
+        if jobs > 1:
+            entries, build_count, shard_stats = cls._simulate_sharded(
+                policy, kml, drawn, requests_per_guest, cohort, jobs
+            )
+            return FleetSimulation(
+                policy=policy, seed=seed, count=count, entries=entries,
+                build_count=build_count, shard_stats=shard_stats,
+            )
         specs = [
             cls._guest_spec(orchestrator, index, app)
             for index, app in enumerate(drawn)
         ]
         cls._validate_specs(specs)
+        core_stats = None
         if global_loop:
             entries, core_stats = cls._simulate_global(
+                orchestrator, drawn, specs, requests_per_guest
+            )
+        elif cohort:
+            entries = cls._simulate_cohort(
                 orchestrator, drawn, specs, requests_per_guest
             )
         else:
             entries = cls._simulate_sequential(
                 orchestrator, drawn, specs, requests_per_guest
             )
-            core_stats = None
         return FleetSimulation(
             policy=policy, seed=seed, count=count, entries=entries,
             build_count=orchestrator.build_count,
@@ -212,6 +243,129 @@ class Fleet:
                 cls._entry_for(guest, app, boot_ms, requests, rps)
             )
         return entries
+
+    @classmethod
+    def _simulate_cohort(
+        cls,
+        orchestrator: "KernelOrchestrator",
+        drawn: List[Application],
+        specs,
+        requests_per_guest: int,
+    ) -> List["GuestManifestEntry"]:
+        """Cohort-vectorized fold: one representative per app cohort.
+
+        Two fleet guests drawn for the same application are identical in
+        every manifest field except their name: the spec (variant, app,
+        full_image) is a pure function of app + policy, the unikernel
+        comes from the orchestrator's per-app memo, and each guest runs
+        boot and the ``invoke_batch`` serving fold on a fresh clock and
+        a fresh engine (``call_count`` starts at 0), so boot_ms,
+        uptime_ns, requests and rps replay bit-identically.  The fold
+        therefore simulates the cohort's *first* guest and replays its
+        entry -- name swapped -- for every later member, instead of
+        re-simulating guest by guest.  Byte-identical to
+        :meth:`_simulate_sequential` (the differential oracle; asserted
+        by tests and the ``bench-guests`` cohort gate).
+
+        Representative clocks come from a fold-local
+        :class:`~repro.simcore.eventcore.EventCore` (``clock_for``), so
+        every cohort timeline is registered with one event heap, the
+        fleet-path clock rule the time lint enforces.
+        """
+        import dataclasses
+
+        from repro.simcore.eventcore import EventCore
+        from repro.simcore.guest import Guest
+
+        core = EventCore()
+        representatives: Dict[str, GuestManifestEntry] = {}
+        entries: List[GuestManifestEntry] = []
+        for (index, app), spec in zip(enumerate(drawn), specs):
+            representative = representatives.get(app.name)
+            if representative is None:
+                guest = Guest(
+                    spec,
+                    clock=core.clock_for(spec.name),
+                    unikernel=orchestrator.unikernel_for(app),
+                ).build()
+                boot_ms = guest.boot().total_ms
+                profile = _workload_profile(app.name)
+                requests, rps = 0, None
+                if profile is not None and guest.netpath is not None:
+                    requests = requests_per_guest
+                    rps = guest.serve(profile, requests)
+                guest.shutdown()
+                representative = cls._entry_for(
+                    guest, app, boot_ms, requests, rps
+                )
+                representatives[app.name] = representative
+                entries.append(representative)
+            else:
+                entries.append(
+                    dataclasses.replace(representative, guest=spec.name)
+                )
+        return entries
+
+    @classmethod
+    def _simulate_sharded(
+        cls,
+        policy: KernelPolicy,
+        kml: bool,
+        drawn: List[Application],
+        requests_per_guest: int,
+        cohort: bool,
+        jobs: int,
+    ):
+        """Execute the drawn fleet as worker-process shards; merge them.
+
+        Contiguous index ranges (:func:`~repro.harness.shardpool.shard_bounds`)
+        run in worker processes; each worker rebuilds its orchestrator
+        and names guests by global index, so concatenating shard entries
+        in shard order reproduces the sequential entry list exactly.
+        ``build_count`` is the size of the union of per-shard kernel
+        fingerprints (the same distinct-config count a single memo would
+        have seen), and worker counter deltas fold back into this
+        process's registry so benchmarks measure sharded work.
+
+        Returns ``(entries, build_count, FleetShardStats)``.
+        """
+        from repro.harness.shardpool import (
+            FleetShardSpec,
+            execute_fleet_shards,
+            fold_counter_deltas,
+            shard_bounds,
+        )
+
+        shard_specs = [
+            FleetShardSpec(
+                start=lo,
+                app_names=tuple(app.name for app in drawn[lo:hi]),
+                policy=policy.value,
+                kml=kml,
+                requests_per_guest=requests_per_guest,
+                cohort=cohort,
+            )
+            for lo, hi in shard_bounds(len(drawn), jobs)
+        ]
+        results = execute_fleet_shards(shard_specs)
+        entries: List[GuestManifestEntry] = []
+        fingerprints: Set[str] = set()
+        merged_deltas: Dict[str, int] = {}
+        for result in results:
+            entries.extend(result.entries)
+            fingerprints.update(result.fingerprints)
+            for name, delta in result.counter_deltas.items():
+                merged_deltas[name] = merged_deltas.get(name, 0) + delta
+        fold_counter_deltas(merged_deltas)
+        stats = FleetShardStats(
+            jobs=jobs,
+            shard_sizes=tuple(len(spec.app_names) for spec in shard_specs),
+            max_elapsed_us=max(
+                (result.elapsed_us for result in results), default=0.0
+            ),
+            total_elapsed_us=sum(result.elapsed_us for result in results),
+        )
+        return entries, len(fingerprints), stats
 
     @classmethod
     def _simulate_global(
@@ -426,6 +580,22 @@ def serving_profile(app_name: str):
 
 
 @dataclass(frozen=True)
+class FleetShardStats:
+    """How a sharded run executed (manifest-external, like EventCoreStats).
+
+    ``max_elapsed_us`` is the slowest shard's elapsed time on the
+    tracer's host clock; the parallel-execution model of a sharded run's
+    cost is the parent's own elapsed plus this maximum (shards run
+    concurrently), which is what ``bench-guests`` reports.
+    """
+
+    jobs: int
+    shard_sizes: Tuple[int, ...]
+    max_elapsed_us: float
+    total_elapsed_us: float
+
+
+@dataclass(frozen=True)
 class GuestManifestEntry:
     """One fleet guest's lifecycle record."""
 
@@ -460,6 +630,9 @@ class FleetSimulation:
     build_count: int = 0
     #: EventCoreStats of the global loop (None for sequential runs).
     eventcore_stats: Optional[object] = None
+    #: FleetShardStats of a ``jobs > 1`` run (None otherwise); outside
+    #: the manifest -- it describes how the fleet was executed.
+    shard_stats: Optional["FleetShardStats"] = None
 
     @property
     def distinct_kernels(self) -> int:

@@ -36,6 +36,23 @@ RESULT_DATACLASSES: Dict[str, Type] = {
     for cls in (AttackSurfaceReport, ColdStartResult, Cve, LmbenchReport)
 }
 
+
+def register_result_dataclass(cls: Type) -> Type:
+    """Whitelist *cls* for codec round trips (idempotent).
+
+    Modules whose dataclasses cross the codec boundary but that the codec
+    must not import at module load (e.g. the shard pool, whose results
+    transit worker processes as codec JSON) register themselves here.
+    """
+    existing = RESULT_DATACLASSES.get(cls.__name__)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"result dataclass name {cls.__name__!r} already registered "
+            f"by {existing.__module__}"
+        )
+    RESULT_DATACLASSES[cls.__name__] = cls
+    return cls
+
 _TUPLE = "__tuple__"
 _ITEMS = "__items__"
 _DATACLASS = "__dataclass__"

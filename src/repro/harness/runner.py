@@ -347,7 +347,12 @@ def run_experiments(
         cache = ResultCache(pathlib.Path(cache_dir))
 
     jobs = max(1, int(jobs))
+    # What the pool will actually occupy: requesting more workers than
+    # there are experiments never spawns idle threads, and the manifest
+    # records both numbers (``jobs`` asked, ``effective_jobs`` used).
+    effective_jobs = min(jobs, max(1, len(selected)))
     METRICS.gauge("harness.jobs").set(jobs)
+    METRICS.gauge("harness.effective_jobs").set(effective_jobs)
     # Pre-register the cost and resilience counters so a clean run reports
     # them as explicit zeros rather than omitting them: the regression
     # gate compares baseline-side counters, and "0 misses" / "0 failures"
@@ -368,12 +373,14 @@ def run_experiments(
 
     with span("harness.run", category="harness",
               jobs=jobs, experiments=len(selected)):
-        if jobs == 1:
+        if effective_jobs == 1:
             outcomes = [
                 _execute_one(e, cache, force, retry_policy) for e in selected
             ]
         else:
-            with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=effective_jobs
+            ) as pool:
                 futures = [
                     pool.submit(_execute_one, e, cache, force, retry_policy)
                     for e in selected
@@ -387,6 +394,7 @@ def run_experiments(
     build_stats_after = BUILD_CACHE.stats()
     telemetry = RunTelemetry(
         jobs=jobs,
+        effective_jobs=effective_jobs,
         total_wall_ms=_now_ms() - run_started,
         experiments=[outcome.telemetry for outcome in outcomes],
         kernel_builds_performed=(

@@ -105,12 +105,17 @@ class KernelBuilder:
                 "configuration builds modules but CONFIG_MODULES is not set"
             )
         # Only built-in (=y) options are linked into the image; =m options
-        # are compiled into loadable modules shipped alongside it.
+        # are compiled into loadable modules shipped alongside it.  Both
+        # folds run in sorted order: builtin/modules are frozensets, and
+        # image sizes flow into boot times and manifest digests, which
+        # must not depend on PYTHONHASHSEED.
         option_kb = sum(
-            config.tree[option_name].size_kb for option_name in config.builtin
+            config.tree[option_name].size_kb
+            for option_name in sorted(config.builtin)
         )
         module_kb = sum(
-            config.tree[option_name].size_kb for option_name in config.modules
+            config.tree[option_name].size_kb
+            for option_name in sorted(config.modules)
         )
         uncompressed = (CORE_TEXT_KB + option_kb) * toolchain.size_factor
         compressed = uncompressed * self._compression_ratio(config)

@@ -53,6 +53,10 @@ class RunTelemetry:
     """Aggregate telemetry for one harness run."""
 
     jobs: int
+    #: Workers actually used: ``min(jobs, len(selected))``, floored at 1.
+    #: ``jobs`` records what was *requested*; a 2-experiment run at
+    #: ``--jobs 8`` still only occupies 2 pool threads.
+    effective_jobs: int = 1
     total_wall_ms: float = 0.0
     experiments: List[ExperimentTelemetry] = field(default_factory=list)
     kernel_builds_performed: int = 0
@@ -82,6 +86,7 @@ class RunTelemetry:
         return {
             "schema_version": MANIFEST_SCHEMA_VERSION,
             "jobs": self.jobs,
+            "effective_jobs": self.effective_jobs,
             "total_wall_ms": self.total_wall_ms,
             "experiments": [e.to_dict() for e in self.experiments],
             "failures": len(self.failed_experiments),

@@ -44,8 +44,10 @@ class FootprintModel:
 
     def kernel_static_kb(self) -> float:
         config = self.image.config
+        # Sorted fold over the frozenset: keeps the float sum identical
+        # under any PYTHONHASHSEED (footprints feed manifest digests).
         return STATIC_ALLOC_FACTOR * sum(
-            config.tree[name].mem_cost_kb for name in config.enabled
+            config.tree[name].mem_cost_kb for name in sorted(config.enabled)
         )
 
     def required_kb(self) -> float:

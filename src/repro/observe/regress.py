@@ -15,6 +15,10 @@ What gates (threshold ``t``, default 0.10; all comparisons are strict
   when current > baseline * (1 + t).
   These are deterministic, so they gate across machines -- a jump means
   a cache stopped hitting or a hot path started re-doing work.
+- **digests** (the metrics document's ``digests`` section: manifest
+  digest identities published by the benchmarks): fail on **any**
+  inequality.  A digest is not a quantity -- a one-bit drift means the
+  simulated behaviour changed, so the threshold never applies.
 - **timings** (manifest ``total_wall_ms`` and per-experiment
   ``wall_ms``): fail when current > baseline * (1 + t) *and* the
   absolute slowdown exceeds ``--min-ms`` (default 5 ms, absorbing
@@ -66,16 +70,18 @@ def is_cost_counter(name: str) -> bool:
 
 @dataclass
 class Delta:
-    """One compared quantity."""
+    """One compared quantity (or identity, for digests)."""
 
-    kind: str          # "counter" | "timing"
+    kind: str          # "counter" | "timing" | "digest"
     name: str
-    baseline: float
-    current: float
+    baseline: Any      # float for counters/timings, str for digests
+    current: Any
     regression: bool
 
     @property
     def ratio(self) -> float:
+        if self.kind == "digest":
+            return 1.0 if self.baseline == self.current else float("inf")
         if self.baseline == 0:
             return float("inf") if self.current > 0 else 1.0
         return self.current / self.baseline
@@ -104,6 +110,13 @@ class RegressionReport:
         ]
         for delta in self.deltas:
             flag = "REGRESSED" if delta.regression else "ok"
+            if delta.kind == "digest":
+                outcome = ("match" if delta.baseline == delta.current
+                           else f"{delta.baseline} -> {delta.current}")
+                lines.append(
+                    f"  [{flag:>9}] {delta.kind:<7} {delta.name}: {outcome}"
+                )
+                continue
             lines.append(
                 f"  [{flag:>9}] {delta.kind:<7} {delta.name}: "
                 f"{delta.baseline:g} -> {delta.current:g} "
@@ -138,6 +151,20 @@ def compare_runs(
         regressed = is_cost_counter(name) and _exceeds(base, cur, threshold)
         report.deltas.append(
             Delta("counter", name, float(base), float(cur), regressed)
+        )
+
+    # Digest identities: exact equality, no threshold.  Skipped when only
+    # one side has them, like counters (the baseline is the contract).
+    baseline_digests = baseline_metrics.get("digests", {})
+    current_digests = current_metrics.get("digests", {})
+    for name in sorted(baseline_digests):
+        if name not in current_digests:
+            continue
+        base_digest = str(baseline_digests[name])
+        cur_digest = str(current_digests[name])
+        report.deltas.append(
+            Delta("digest", name, base_digest, cur_digest,
+                  base_digest != cur_digest)
         )
 
     if timings and baseline_manifest and current_manifest:

@@ -127,8 +127,10 @@ class AttackSurfaceReport:
 def analyze_config(config: ResolvedConfig) -> AttackSurfaceReport:
     """Compute the attack-surface report for one resolved configuration."""
     tree = config.tree
+    # Sorted fold over the frozenset so the float sum is identical under
+    # any PYTHONHASHSEED.
     surface_kb = CORE_TEXT_KB + sum(
-        tree[name].size_kb for name in config.enabled
+        tree[name].size_kb for name in sorted(config.enabled)
     )
     applicable: List[Cve] = []
     nullified: List[Cve] = []

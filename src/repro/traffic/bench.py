@@ -15,9 +15,12 @@ plus the latency/cold-start shape of each run:
 Every scenario runs **twice**; the manifest digest of the rerun must be
 byte-identical to the first run's, which is the serving determinism
 contract (same :class:`~repro.traffic.serve.ServeSpec`, same bytes).
-Both digests are folded in as integer counters so the ``regress`` gate
-additionally pins them against the checked-in snapshot at
-``benchmarks/baseline/BENCH_serve.json``.
+Both digests land in the result's dedicated ``digests`` section (they
+are identities, not monotonic counts), where the ``regress`` gate pins
+them -- by exact equality -- against the checked-in snapshot at
+``benchmarks/baseline/BENCH_serve.json``.  Digests are hash-seed
+independent (all config-option float folds iterate sorted), so no
+``PYTHONHASHSEED`` pin is needed.
 
 Nothing reported is wall-clock: boot/resolver work are counter deltas,
 latency percentiles are virtual-time, and throughput is requests per
@@ -104,6 +107,7 @@ def run_bench() -> Dict[str, Any]:
     ]
     counters: Dict[str, int] = {}
     gauges: Dict[str, float] = {}
+    digests: Dict[str, str] = {}
     host_clock = TRACER.clock
     tick = TickClock(step_us=1000.0)
     TRACER.clock = tick
@@ -119,11 +123,11 @@ def run_bench() -> Dict[str, Any]:
             # manifest byte-for-byte, so run it again and record both
             # digests (check_result asserts they match).
             rerun = run_serving(spec)
-            counters[f"serve.manifest_digest48.{section}"] = int(
-                report.manifest_digest[:12], 16
+            digests[f"serve.manifest_digest48.{section}"] = (
+                report.manifest_digest[:12]
             )
-            counters[f"serve.manifest_digest48.{section}.rerun"] = int(
-                rerun.manifest_digest[:12], 16
+            digests[f"serve.manifest_digest48.{section}.rerun"] = (
+                rerun.manifest_digest[:12]
             )
             counters.update({
                 f"{metric}.{section}": value
@@ -158,13 +162,15 @@ def run_bench() -> Dict[str, Any]:
             )
     finally:
         TRACER.clock = host_clock
-    return {"counters": counters, "gauges": gauges, "histograms": {}}
+    return {"counters": counters, "gauges": gauges, "digests": digests,
+            "histograms": {}}
 
 
 def check_result(result: Dict[str, Any]) -> List[str]:
     """Return acceptance-criterion violations ([] when the result passes)."""
     counters = result.get("counters", {})
     gauges = result.get("gauges", {})
+    digests = result.get("digests", {})
     failures: List[str] = []
     for section in ("serve_scale_to_zero", "serve_fixed_pool"):
         served = gauges.get(f"serve.requests.{section}", 0.0)
@@ -173,14 +179,14 @@ def check_result(result: Dict[str, Any]) -> List[str]:
                 f"{section} served only {served:g} requests; the canonical "
                 f"trace must deliver >= {SERVE_REQUESTS}"
             )
-        first = counters.get(f"serve.manifest_digest48.{section}", 0)
-        rerun = counters.get(f"serve.manifest_digest48.{section}.rerun", -1)
-        if first <= 0:
+        first = digests.get(f"serve.manifest_digest48.{section}", "")
+        rerun = digests.get(f"serve.manifest_digest48.{section}.rerun", "?")
+        if not first:
             failures.append(f"{section} manifest digest missing")
         if first != rerun:
             failures.append(
                 f"{section} is not deterministic: rerun manifest digest48 "
-                f"{rerun:012x} != {first:012x}"
+                f"{rerun} != {first or '?'}"
             )
         p50 = gauges.get(f"serve.latency_p50_ms.{section}", 0.0)
         p99 = gauges.get(f"serve.latency_p99_ms.{section}", 0.0)
@@ -232,7 +238,8 @@ def write_result(result: Dict[str, Any], path: pathlib.Path) -> None:
 
 def render_summary(result: Dict[str, Any]) -> str:
     """Human-readable scenario table for the CLI."""
-    counters, gauges = result["counters"], result["gauges"]
+    gauges = result["gauges"]
+    digests = result.get("digests", {})
     sections = sorted(
         key[len("serve.requests."):]
         for key in gauges if key.startswith("serve.requests.")
@@ -252,10 +259,10 @@ def render_summary(result: Dict[str, Any]) -> str:
             f"{gauges[f'serve.guest_seconds.{section}']:>9.1f}"
         )
     for section in sections:
-        first = counters[f"serve.manifest_digest48.{section}"]
-        rerun = counters[f"serve.manifest_digest48.{section}.rerun"]
+        first = digests[f"serve.manifest_digest48.{section}"]
+        rerun = digests[f"serve.manifest_digest48.{section}.rerun"]
         lines.append(
-            f"{section} manifest digest48: {first:012x} "
+            f"{section} manifest digest48: {first} "
             f"(rerun matches: {first == rerun})"
         )
     return "\n".join(lines)

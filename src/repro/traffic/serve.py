@@ -160,6 +160,25 @@ def _arrivals_program(source: ArrivalSource, router: Router):
             router.drop(arrival)
 
 
+def run_serving_many(specs: List[ServeSpec],
+                     jobs: int = 1) -> List[ServingReport]:
+    """Execute whole serving runs across worker processes; reports in order.
+
+    Serving parallelism is **run-level**: each :class:`ServeSpec` is an
+    independent deterministic run (a policy sweep, a seed sweep), so
+    whole runs fan out across processes and merge by position, with each
+    worker's counter deltas folded back into this process's registry.
+    A *single* run never shards: the router's global coupling --
+    ``max_total`` admission, ``peak_live`` and the queue high-water mark
+    are time-maxima over cross-app sums, all in the manifest -- makes a
+    run's manifest irreproducible from independently-executed app
+    slices (see ``docs/SERVING.md``).
+    """
+    from repro.harness.shardpool import execute_serving_runs
+
+    return execute_serving_runs(list(specs), jobs)
+
+
 def run_serving(spec: ServeSpec) -> ServingReport:
     """Execute one traffic-driven serving run; fully deterministic."""
     core = EventCore()

@@ -23,22 +23,25 @@
 # simcore invariant: no simulator advances time through the tracer's sim
 # view or keeps a private clock accumulator field.
 #
-# The fleet gate runs bench-guests --check --global-loop (the
-# general-policy fleet must boot >= 1000 monitor-checked guests on
-# exactly one shared kernel, fleet builds must flow through the
-# orchestrator's kernel memo, and the global EventCore loop must
-# reproduce the sequential oracle's manifest digest byte-for-byte) and
-# regresses its counters -- including both fleet manifest digests,
-# pinning bit-identical fleet behaviour under either execution strategy
-# -- against benchmarks/baseline/BENCH_guests.json.
+# The fleet gate runs bench-guests --check --global-loop twice -- at
+# --jobs 2 and again at --jobs 7 -- and regresses both runs against the
+# same benchmarks/baseline/BENCH_guests.json.  Each run asserts the
+# fleet scale/kernel-sharing criteria, that the cohort-vectorized and
+# sharded 10k-guest fleets reproduce their single-process oracles'
+# manifest digests, and the sharded throughput floor; regressing both
+# job counts against one pinned digests section is the shard-determinism
+# gate (same seed => byte-identical merged manifest for any job count).
 #
 # The serving gate runs bench-serve --check (the canonical 100k-request
 # diurnal trace per warm-pool policy, each run twice: manifests must
 # reproduce byte-identically, scale-to-zero must cold-boot >= 1000
 # guests with a nonzero cold-start fraction, and the fixed pool must buy
-# the latency tail back) and regresses its counters -- including all
-# four serving manifest digests -- against
+# the latency tail back) and regresses its counters and digests against
 # benchmarks/baseline/BENCH_serve.json.
+#
+# No PYTHONHASHSEED pin anywhere: every config-option float fold
+# iterates its frozenset sorted, so all manifest digests are hash-seed
+# independent (tests/test_golden_parity.py and the shard tests pin this).
 #
 # The docs-link check (tools/check_docs_links.py) fails on any relative
 # markdown link in README.md/DESIGN.md/EXPERIMENTS.md/ROADMAP.md/docs/
@@ -100,19 +103,22 @@ PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline/BENCH_resolve.json "$RUN_DIR/BENCH_resolve.json" \
     --no-timings
 
-echo "==> fleet-simulation microbenchmark + global-loop + counter gate"
-# PYTHONHASHSEED=0: fleet manifests fold floats whose derivation walks
-# set-ordered config options; the pinned digest assumes this hash seed.
-PYTHONHASHSEED=0 PYTHONPATH=src python -m repro.cli bench-guests --check \
-    --global-loop --output-dir "$RUN_DIR"
+echo "==> fleet-simulation microbenchmark + sharded/cohort + counter gate"
+PYTHONPATH=src python -m repro.cli bench-guests --check \
+    --global-loop --jobs 2 --output-dir "$RUN_DIR"
 PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline/BENCH_guests.json "$RUN_DIR/BENCH_guests.json" \
     --no-timings
 
+echo "==> fleet shard-determinism gate (same digests at --jobs 7)"
+PYTHONPATH=src python -m repro.cli bench-guests --check \
+    --global-loop --jobs 7 --output-dir "$TMP_DIR/jobs7"
+PYTHONPATH=src python -m repro.observe.regress \
+    benchmarks/baseline/BENCH_guests.json "$TMP_DIR/jobs7/BENCH_guests.json" \
+    --no-timings
+
 echo "==> traffic-serving microbenchmark + determinism + counter gate"
-# PYTHONHASHSEED=0: serving manifests inherit the same set-ordered config
-# float derivations as fleet manifests; the pinned digests assume it.
-PYTHONHASHSEED=0 PYTHONPATH=src python -m repro.cli bench-serve --check \
+PYTHONPATH=src python -m repro.cli bench-serve --check \
     --output-dir "$RUN_DIR"
 PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline/BENCH_serve.json "$RUN_DIR/BENCH_serve.json" \

@@ -47,8 +47,10 @@ ALLOWED = ("simcore", "observe")
 #: Fleet code paths (relative to src/repro): modules that orchestrate
 #: many guests and therefore must source clocks from the EventCore.
 #: Entries ending in "/" cover a whole directory (every module of the
-#: traffic layer routes across fleet timelines).
-FLEET_PATHS = ("core/orchestrator.py", "traffic/")
+#: traffic layer routes across fleet timelines).  ``harness/shardpool.py``
+#: is fleet code too: shard workers rebuild fleet slices and must draw
+#: guest clocks from their fold-local EventCore, never construct them.
+FLEET_PATHS = ("core/orchestrator.py", "harness/shardpool.py", "traffic/")
 
 #: Class-level field names that smell like a private timeline.  Duration
 #: parameters and result records (``deadline_ms``, ``elapsed_ns``, ...)
