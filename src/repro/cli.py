@@ -35,6 +35,11 @@ Subcommands:
 - ``bench-serve``      -- the serving microbenchmark: the canonical
   100k-request diurnal trace per warm-pool policy, run twice each for
   the determinism contract, written to ``BENCH_serve.json``.
+- ``chaos-serve``      -- the serving chaos gate: the canonical trace
+  under a seeded guest-fault schedule (crash/hang/boot-fail/arrival),
+  asserting faulted reruns and ``--jobs`` sweeps are byte-identical,
+  an empty plane is invisible, and the fleet recovers instead of
+  erroring (see docs/RESILIENCE.md).
 - ``apps``             -- list the top-20 application registry.
 """
 
@@ -288,7 +293,14 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         if overrides:
             policy = policy.with_overrides(**overrides)
         specs.append(ServeSpec(trace=trace, policy=policy, seed=args.seed))
-    reports = run_serving_many(specs, jobs=args.jobs)
+    if args.chaos:
+        from repro import faults
+        from repro.traffic.chaos import default_serving_schedule
+
+        with faults.activated(default_serving_schedule(args.chaos_seed)):
+            reports = run_serving_many(specs, jobs=args.jobs)
+    else:
+        reports = run_serving_many(specs, jobs=args.jobs)
     output_dir = (
         pathlib.Path(args.output_dir)
         if args.output_dir is not None else default_output_dir()
@@ -510,6 +522,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.traffic.chaos import run_chaos_serve
+
+    report = run_chaos_serve(
+        seed=args.seed,
+        jobs=args.jobs,
+        requests=args.requests,
+        runs=args.runs,
+        baseline_path=pathlib.Path(args.baseline),
+    )
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lupine",
@@ -698,6 +726,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="where serve_report.json lands (per-policy "
                           "serve_report.<policy>.json for --policy all; "
                           "default: benchmarks/output/)")
+    sub.add_argument("--chaos", action="store_true",
+                     help="serve under the stock guest-fault schedule "
+                          "(crash/hang/boot-fail/arrival; the report "
+                          "gains nonzero availability counters)")
+    sub.add_argument("--chaos-seed", type=int, default=77, metavar="N",
+                     help="fault-schedule seed for --chaos (default 77)")
     sub.set_defaults(func=_cmd_fleet_serve)
 
     sub = subparsers.add_parser(
@@ -719,6 +753,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="where BENCH_serve.json lands "
                           "(default: benchmarks/output/)")
     sub.set_defaults(func=_cmd_bench_serve)
+
+    sub = subparsers.add_parser(
+        "chaos-serve",
+        help="run the serving bench under a seeded guest-fault schedule "
+             "and assert the serving resilience invariants (faulted "
+             "reruns and --jobs sweeps byte-identical, empty plane "
+             "invisible, fleet recovers instead of erroring)",
+    )
+    sub.add_argument("--seed", type=int, default=77, metavar="N",
+                     help="serving fault-schedule seed (default 77)")
+    sub.add_argument("--jobs", type=int, default=2, metavar="N",
+                     help="worker processes for the policy-sweep leg "
+                          "(default 2); its digests must match the "
+                          "sequential runs at any value")
+    sub.add_argument("--runs", type=int, default=2, metavar="N",
+                     help="identical faulted runs to compare per policy "
+                          "(default 2)")
+    sub.add_argument("--requests", type=int, default=None, metavar="N",
+                     help="shrink the trace (default: the canonical "
+                          "100000; custom sizes judge the zero-fault leg "
+                          "against a plain run instead of the baseline)")
+    sub.add_argument("--baseline",
+                     default="benchmarks/baseline/BENCH_serve.json",
+                     metavar="PATH",
+                     help="BENCH_serve.json whose digests the zero-fault "
+                          "canonical runs must reproduce (default: "
+                          "benchmarks/baseline/BENCH_serve.json)")
+    sub.set_defaults(func=_cmd_chaos_serve)
 
     sub = subparsers.add_parser(
         "diff",

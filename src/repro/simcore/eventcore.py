@@ -61,7 +61,11 @@ Fault injection: each dispatch is a :func:`~repro.faults.plane.fault_site`
 (``eventcore.dispatch``) entered inside the dispatched guest's clock
 scope, so a correlated cross-guest fault schedule has a well-defined
 global order and an injected hang advances exactly the afflicted
-guest's timeline.
+guest's timeline.  An injected fault is *contained*: the afflicted
+runner dies with a structured record (``EventCore.failures``, the
+``guest_failures`` counter, the optional ``on_failure`` callback) while
+the rest of the fleet keeps running -- one poisoned guest must not take
+the event loop down.  Non-injected exceptions still propagate.
 
 Clock discipline: fleet code paths must not construct
 :class:`VirtualClock` directly -- guests obtain their clock from
@@ -75,7 +79,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.simcore.clock import VirtualClock
 
@@ -125,6 +129,9 @@ class EventCoreStats:
     guests: int = 0
     parks: int = 0
     kicks: int = 0
+    #: Runners killed by a contained dispatch fault (structured failure
+    #: outcomes, mirroring ``harness.fingerprint_errors``).
+    guest_failures: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -134,6 +141,7 @@ class EventCoreStats:
             "guests": self.guests,
             "parks": self.parks,
             "kicks": self.kicks,
+            "guest_failures": self.guest_failures,
         }
 
 
@@ -165,6 +173,13 @@ class EventCore:
     #: Stats already folded into METRICS (``run()`` publishes deltas, so
     #: quiesce-then-resume runs never double-count).
     _published: EventCoreStats = field(default_factory=EventCoreStats)
+    #: Contained per-runner dispatch faults, in dispatch order: the
+    #: structured record of every runner ``run()`` killed.
+    failures: List[Tuple[str, BaseException]] = field(default_factory=list)
+    #: Called as ``on_failure(name, error)`` after a dispatch fault kills
+    #: a runner -- the serving router uses this to fail over the dead
+    #: worker's queued requests.
+    on_failure: Optional[Callable[[str, BaseException], None]] = None
 
     # -- registration ------------------------------------------------------
 
@@ -256,7 +271,7 @@ class EventCore:
         counters: events dispatched, guests fast-forwarded in closed
         form, parks/kicks, and the heap's high-water mark.
         """
-        from repro.faults.plane import fault_site
+        from repro.faults.plane import FaultInjected, fault_site
         from repro.simcore.context import use_clock
 
         while self._heap:
@@ -278,6 +293,19 @@ class EventCore:
                         idle_until = next(runner.program)
             except StopIteration:
                 runner.done = True
+                continue
+            except FaultInjected as error:
+                # Containment, not swallowing: the runner dies with a
+                # structured failure record and a counter, the rest of
+                # the fleet keeps running.  Anything that is *not* an
+                # injected fault still propagates -- a real bug should
+                # crash the run, loudly.
+                runner.done = True
+                runner.parked = False
+                self.stats.guest_failures += 1
+                self.failures.append((runner.name, error))
+                if self.on_failure is not None:
+                    self.on_failure(runner.name, error)
                 continue
             if idle_until is PARK:
                 runner.parked = True
@@ -320,6 +348,9 @@ class EventCore:
         )
         METRICS.counter("eventcore.kicks").inc(
             self.stats.kicks - self._published.kicks
+        )
+        METRICS.counter("eventcore.guest_failures").inc(
+            self.stats.guest_failures - self._published.guest_failures
         )
         METRICS.gauge("eventcore.heap_high_water").set(
             float(self.stats.heap_high_water)

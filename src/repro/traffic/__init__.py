@@ -12,14 +12,27 @@ routing across specialized kernels:
 - :mod:`repro.traffic.policy` -- warm-pool/keepalive policies
   (scale-to-zero idle timeout, pool floors/ceilings, pre-warm);
 - :mod:`repro.traffic.router` -- warm-pool dispatch, cold boots (full
-  Fig 2 + Fig 7 pipeline inside the latency tail), capacity queues;
+  Fig 2 + Fig 7 pipeline inside the latency tail), capacity queues,
+  retry budgets, per-app circuit breakers, and load shedding;
+- :mod:`repro.traffic.supervisor` -- the self-healing control plane:
+  watchdog deadlines, exponential-backoff restarts, crash-loop
+  quarantine, all as one EventCore program
+  (:class:`~repro.traffic.supervisor.Supervisor`), tuned by a
+  :class:`~repro.traffic.supervisor.ResiliencePolicy`;
 - :mod:`repro.traffic.serve` -- one run end-to-end, producing the
-  canonical :class:`~repro.traffic.serve.ServingReport` manifest;
+  canonical :class:`~repro.traffic.serve.ServingReport` manifest
+  (schema v2: availability + resilience sections);
+- :mod:`repro.traffic.chaos` -- the ``chaos-serve`` gate: the stock
+  seeded guest-fault schedule plus the rerun/jobs/zero-fault digest
+  assertions;
 - :mod:`repro.traffic.bench` -- the ``bench-serve`` gate.
 
 Determinism contract: a :class:`~repro.traffic.serve.ServeSpec` fully
 determines the report manifest -- same seed, byte-identical digest --
-under every policy.  See ``docs/SERVING.md``.
+under every policy, with or without an installed fault schedule.
+Conservation contract: every arrival settles in exactly one
+disposition, ``arrivals == completed + failed + shed + dropped``.
+See ``docs/SERVING.md`` and ``docs/RESILIENCE.md``.
 """
 
 from repro.traffic.arrivals import (
@@ -32,6 +45,12 @@ from repro.traffic.arrivals import (
     poisson_trace,
     zipf_app_mix,
 )
+from repro.traffic.chaos import (
+    SERVE_CHAOS_SEED,
+    ChaosServeReport,
+    default_serving_schedule,
+    run_chaos_serve,
+)
 from repro.traffic.policy import (
     FIXED_POOL,
     SCALE_TO_ZERO,
@@ -39,12 +58,25 @@ from repro.traffic.policy import (
     named_policy,
     policy_names,
 )
-from repro.traffic.router import GuestWorker, LatencySample, Router
+from repro.traffic.router import (
+    GuestWorker,
+    LatencySample,
+    Request,
+    Router,
+    ServingInvariantError,
+)
 from repro.traffic.serve import (
     SERVE_SCHEMA_VERSION,
     ServeSpec,
     ServingReport,
     run_serving,
+    run_serving_many,
+)
+from repro.traffic.supervisor import (
+    DEFAULT_RESILIENCE,
+    CircuitBreaker,
+    ResiliencePolicy,
+    Supervisor,
 )
 
 __all__ = [
@@ -56,6 +88,10 @@ __all__ = [
     "diurnal_trace",
     "poisson_trace",
     "zipf_app_mix",
+    "SERVE_CHAOS_SEED",
+    "ChaosServeReport",
+    "default_serving_schedule",
+    "run_chaos_serve",
     "FIXED_POOL",
     "SCALE_TO_ZERO",
     "WarmPoolPolicy",
@@ -63,9 +99,16 @@ __all__ = [
     "policy_names",
     "GuestWorker",
     "LatencySample",
+    "Request",
     "Router",
+    "ServingInvariantError",
     "SERVE_SCHEMA_VERSION",
     "ServeSpec",
     "ServingReport",
     "run_serving",
+    "run_serving_many",
+    "DEFAULT_RESILIENCE",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "Supervisor",
 ]

@@ -11,6 +11,11 @@ plus the latency/cold-start shape of each run:
   the paper's Fig 7 boot cost lands inside the latency tail;
 - ``serve_fixed_pool`` -- the provisioned deployment: pre-warmed,
   keepalive-forever pools buy the tail back with guest-seconds.
+- ``serve_chaos_scale_to_zero`` -- the churn deployment again, under the
+  stock serving fault schedule (seeded guest crash/hang/boot-fail plus
+  arrival faults): the self-healing control plane must recover --
+  nonzero restarts and retries, error rate below the injected fault
+  mass -- and still digest byte-identically on rerun.
 
 Every scenario runs **twice**; the manifest digest of the rerun must be
 byte-identical to the first run's, which is the serving determinism
@@ -88,10 +93,14 @@ def _measure(fn: Callable[[], None]) -> Dict[str, int]:
 
 
 def run_bench() -> Dict[str, Any]:
-    """Run both policies (twice each) and return the result document."""
+    """Run all scenarios (twice each) and return the result document."""
+    import contextlib
+
+    from repro import faults
     from repro.core.buildcache import BUILD_CACHE
     from repro.kconfig.rescache import RESOLUTION_CACHE
     from repro.observe.tracer import TickClock
+    from repro.traffic.chaos import SERVE_CHAOS_SEED, default_serving_schedule
     from repro.traffic.policy import FIXED_POOL, SCALE_TO_ZERO
     from repro.traffic.serve import ServeSpec, run_serving
 
@@ -102,8 +111,9 @@ def run_bench() -> Dict[str, Any]:
 
     trace = canonical_trace()
     scenarios = [
-        ("serve_scale_to_zero", SCALE_TO_ZERO),
-        ("serve_fixed_pool", FIXED_POOL),
+        ("serve_scale_to_zero", SCALE_TO_ZERO, False),
+        ("serve_fixed_pool", FIXED_POOL, False),
+        ("serve_chaos_scale_to_zero", SCALE_TO_ZERO, True),
     ]
     counters: Dict[str, int] = {}
     gauges: Dict[str, float] = {}
@@ -112,17 +122,24 @@ def run_bench() -> Dict[str, Any]:
     tick = TickClock(step_us=1000.0)
     TRACER.clock = tick
     try:
-        for section, policy in scenarios:
+        for section, policy, chaos in scenarios:
             spec = ServeSpec(trace=trace, policy=policy, seed=SERVE_SEED)
-            box: List[Any] = []
-            tick_before = tick._now
-            deltas = _measure(lambda: box.append(run_serving(spec)))
-            tick_elapsed_s = (tick._now - tick_before) / 1e6
-            report = box[0]
-            # The determinism contract: the same spec must reproduce the
-            # manifest byte-for-byte, so run it again and record both
-            # digests (check_result asserts they match).
-            rerun = run_serving(spec)
+            plane = (
+                faults.activated(default_serving_schedule(SERVE_CHAOS_SEED))
+                if chaos else contextlib.nullcontext()
+            )
+            with plane:
+                box: List[Any] = []
+                tick_before = tick._now
+                deltas = _measure(lambda: box.append(run_serving(spec)))
+                tick_elapsed_s = (tick._now - tick_before) / 1e6
+                report = box[0]
+                # The determinism contract: the same spec must reproduce
+                # the manifest byte-for-byte -- including every fault
+                # decision when a schedule is active -- so run it again
+                # and record both digests (check_result asserts they
+                # match).
+                rerun = run_serving(spec)
             digests[f"serve.manifest_digest48.{section}"] = (
                 report.manifest_digest[:12]
             )
@@ -135,6 +152,16 @@ def run_bench() -> Dict[str, Any]:
             })
             gauges[f"serve.requests.{section}"] = float(report.served)
             gauges[f"serve.dropped.{section}"] = float(report.dropped)
+            gauges[f"serve.failed.{section}"] = float(report.failed)
+            gauges[f"serve.shed.{section}"] = float(report.shed)
+            gauges[f"serve.retries.{section}"] = float(report.retries)
+            gauges[f"serve.restarts.{section}"] = float(report.restarts)
+            gauges[f"serve.guests_failed.{section}"] = float(
+                report.guests_failed
+            )
+            gauges[f"serve.error_rate.{section}"] = round(
+                report.error_rate, 6
+            )
             gauges[f"serve.cold_start_fraction.{section}"] = round(
                 report.cold_start_fraction, 6
             )
@@ -172,9 +199,11 @@ def check_result(result: Dict[str, Any]) -> List[str]:
     gauges = result.get("gauges", {})
     digests = result.get("digests", {})
     failures: List[str] = []
-    for section in ("serve_scale_to_zero", "serve_fixed_pool"):
+    sections = ("serve_scale_to_zero", "serve_fixed_pool",
+                "serve_chaos_scale_to_zero")
+    for section in sections:
         served = gauges.get(f"serve.requests.{section}", 0.0)
-        if served < SERVE_REQUESTS:
+        if section != "serve_chaos_scale_to_zero" and served < SERVE_REQUESTS:
             failures.append(
                 f"{section} served only {served:g} requests; the canonical "
                 f"trace must deliver >= {SERVE_REQUESTS}"
@@ -225,6 +254,52 @@ def check_result(result: Dict[str, Any]) -> List[str]:
         failures.append(
             "scale-to-zero recorded no EventCore kicks; dispatch cannot "
             "have woken pooled workers"
+        )
+    # The zero-fault scenarios must show no availability events at all
+    # (installed or not, an idle fault plane is invisible) ...
+    for section in ("serve_scale_to_zero", "serve_fixed_pool"):
+        for metric in ("failed", "shed", "retries", "restarts",
+                       "guests_failed"):
+            value = gauges.get(f"serve.{metric}.{section}", 0.0)
+            if value != 0.0:
+                failures.append(
+                    f"{section} reported {metric} = {value:g} with no fault "
+                    "schedule active; the zero-fault path regressed"
+                )
+    # ... while the faulted scenario must show the control plane healing:
+    # nonzero recovery work, request conservation, and an error rate
+    # below the injected per-attempt fault mass.
+    from repro.traffic.chaos import SERVE_CHAOS_RATES
+
+    chaos = "serve_chaos_scale_to_zero"
+    if gauges.get(f"serve.restarts.{chaos}", 0.0) <= 0.0:
+        failures.append(
+            "chaos scenario recorded no supervisor restarts; guest "
+            "failures cannot have been healed"
+        )
+    if gauges.get(f"serve.retries.{chaos}", 0.0) <= 0.0:
+        failures.append(
+            "chaos scenario recorded no retries; failed requests cannot "
+            "have been re-dispatched"
+        )
+    fault_mass = sum(SERVE_CHAOS_RATES.values())
+    error_rate = gauges.get(f"serve.error_rate.{chaos}", 1.0)
+    if error_rate >= fault_mass:
+        failures.append(
+            f"chaos error rate {error_rate:g} is not below the injected "
+            f"fault mass {fault_mass:g}; retries/restarts failed to absorb "
+            "the injected failures"
+        )
+    accounted = (
+        gauges.get(f"serve.requests.{chaos}", 0.0)
+        + gauges.get(f"serve.failed.{chaos}", 0.0)
+        + gauges.get(f"serve.shed.{chaos}", 0.0)
+        + gauges.get(f"serve.dropped.{chaos}", 0.0)
+    )
+    if accounted != SERVE_REQUESTS:
+        failures.append(
+            f"chaos scenario lost requests: served + failed + shed + "
+            f"dropped = {accounted:g} != {SERVE_REQUESTS} arrivals"
         )
     return failures
 

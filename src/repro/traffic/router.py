@@ -1,4 +1,4 @@
-"""The request router: warm-pool dispatch, cold boots, capacity queueing.
+"""The request router: warm-pool dispatch, cold boots, failure recovery.
 
 One :class:`Router` per serving run.  Each arrival goes to the warm pool
 of its app (guests are per-app, so the kernel variant is implied by the
@@ -15,6 +15,28 @@ with :meth:`EventCore.kick` when traffic lands.  A timed-out worker
 retires -- full ``shutdown`` -- unless the policy's ``min_warm`` floor
 pins it, in which case it parks until kicked.  All of it is virtual-time
 events on the one global heap; nothing polls.
+
+Failure model (PR 9).  The serving path itself can now break, through
+three seeded :func:`~repro.faults.plane.fault_site` sites evaluated on
+the guest's own clock:
+
+- ``guest.boot_fail`` -- the cold boot fails (the paper's
+  corrupted-image case): the worker dies before serving anything;
+- ``guest.crash`` -- the guest dies mid-request: its in-flight request
+  and inbox fail over;
+- ``guest.hang`` -- the request stalls: the worker parks with the
+  request in flight until the supervisor's watchdog deadline kills it.
+
+Every failed request is re-dispatched up to the
+:class:`~repro.traffic.supervisor.ResiliencePolicy` retry budget (warm
+pool or backlog only -- replacement *capacity* comes from the
+supervisor's backoff-timed restart probes, or from fresh arrivals), then
+counts as an error.  Arrivals shed instead of queueing when the app is
+quarantined, its circuit breaker is open, or its backlog exceeds the
+shed bound.  Each request settles in **exactly one** terminal
+disposition -- completed, failed, shed, or dropped -- which is the
+request-conservation identity the hypothesis tests pin:
+``arrivals == completed + failed + shed + dropped``.
 """
 
 from __future__ import annotations
@@ -26,6 +48,27 @@ from typing import Deque, Dict, List, Optional
 from repro.simcore.eventcore import PARK, EventCore, drain_deadlines
 from repro.traffic.arrivals import Arrival
 from repro.traffic.policy import WarmPoolPolicy
+from repro.traffic.supervisor import (
+    DEFAULT_RESILIENCE,
+    CircuitBreaker,
+    ResiliencePolicy,
+    Supervisor,
+)
+
+
+class ServingInvariantError(RuntimeError):
+    """A request-conservation invariant broke (always a bug, never load)."""
+
+
+@dataclass(eq=False)  # identity semantics: each request settles once
+class Request:
+    """One admitted arrival's mutable serving state."""
+
+    arrival: Arrival
+    #: Failed delivery attempts so far (retry budget is judged on this).
+    failures: int = 0
+    #: Terminal outcome: "completed" | "failed" | "shed" (set exactly once).
+    disposition: Optional[str] = None
 
 
 @dataclass(eq=False)  # identity semantics: pool membership is per-object
@@ -40,11 +83,17 @@ class GuestWorker:
     spawn_ns: float
     #: Whether the first request this worker serves is a cold start.
     cold_pending: bool
-    inbox: Deque[Arrival] = field(default_factory=deque)
+    inbox: Deque[Request] = field(default_factory=deque)
+    #: The request being attempted (or stalled on, for a hung worker).
+    current: Optional[Request] = None
     boot_ms: float = 0.0
     served: int = 0
     retiring: bool = False
     retired: bool = False
+    #: Killed by a failure (crash/hang/boot_fail) rather than retired.
+    failed: bool = False
+    #: Stalled on an injected hang, awaiting the watchdog.
+    hung: bool = False
     retire_ns: Optional[float] = None
 
 
@@ -62,13 +111,15 @@ class Router:
     """Dispatches arrivals across warm pools, cold boots, and queues."""
 
     def __init__(self, core: EventCore, orchestrator, policy: WarmPoolPolicy,
-                 apps: List[str]) -> None:
+                 apps: List[str],
+                 resilience: ResiliencePolicy = DEFAULT_RESILIENCE) -> None:
         self.core = core
         self.orchestrator = orchestrator
         self.policy = policy
+        self.resilience = resilience
         self.apps = list(apps)
         self.pools: Dict[str, List[GuestWorker]] = {a: [] for a in self.apps}
-        self.backlog: Dict[str, Deque[Arrival]] = {
+        self.backlog: Dict[str, Deque[Request]] = {
             a: deque() for a in self.apps
         }
         self.live: Dict[str, int] = {a: 0 for a in self.apps}
@@ -76,34 +127,41 @@ class Router:
         self.peak_live = 0
         self.workers: List[GuestWorker] = []
         self.samples: List[LatencySample] = []
+        self.breakers: Dict[str, CircuitBreaker] = {
+            a: CircuitBreaker(resilience) for a in self.apps
+        }
+        #: Wired by :func:`~repro.traffic.serve.run_serving`; the router
+        #: never heals itself -- detection/restart policy lives there.
+        self.supervisor: Optional[Supervisor] = None
+        self.arrivals = 0
         self.cold_starts = 0
         self.queued = 0
         self.queue_high_water = 0
         self.dropped = 0
+        self.failed = 0
+        self.shed = 0
+        self.retries = 0
+        self.restarts = 0
+        self.guest_crashes = 0
+        self.guest_hangs = 0
+        self.boot_failures = 0
+        self.watchdog_kills = 0
+        self.failed_reasons: Dict[str, int] = {}
+        self.shed_reasons: Dict[str, int] = {}
+        self._finalizing = False
+        self._by_name: Dict[str, GuestWorker] = {}
         self._profiles = {a: self._profile(a) for a in self.apps}
 
     # -- dispatch ----------------------------------------------------------
 
     def dispatch(self, arrival: Arrival) -> None:
-        """Route one arrival: warm hit, cold boot, or capacity queue."""
-        pool = self.pools[arrival.app]
-        if pool:
-            worker = pool.pop()  # LIFO: most-recently-idle first
-            worker.inbox.append(arrival)
-            self.core.kick(worker.name, arrival.arrival_ns)
-            return
-        if self._can_spawn(arrival.app):
-            self._spawn(arrival.app, start_ns=arrival.arrival_ns,
-                        first=arrival)
-            return
-        self.backlog[arrival.app].append(arrival)
-        self.queued += 1
-        depth = sum(len(q) for q in self.backlog.values())
-        if depth > self.queue_high_water:
-            self.queue_high_water = depth
+        """Route one arrival: warm hit, cold boot, capacity queue, or shed."""
+        self.arrivals += 1
+        self._route(Request(arrival=arrival), arrival.arrival_ns, fresh=True)
 
     def drop(self, arrival: Arrival) -> None:
         """An arrival the fault plane failed: counted, never served."""
+        self.arrivals += 1
         self.dropped += 1
 
     def next_arrival_hint(self, source) -> Optional[float]:
@@ -120,17 +178,156 @@ class Router:
                 self._spawn(app, start_ns=0.0, first=None)
 
     def finalize(self) -> None:
-        """After quiescence: retire every still-live worker.
+        """After quiescence: fail leftover work, retire every live worker.
 
         ``EventCore.run()`` returned, so every live worker is parked (or
-        floor-pinned); mark them retiring and wake them so their
+        floor-pinned); anything still queued can never be served -- fail
+        it -- then mark the survivors retiring and wake them so their
         programs run the shutdown path, then ``run()`` the core again.
+        A hung worker is normally killed by its watchdog before the heap
+        empties; if the supervisor itself died (a contained dispatch
+        fault), the finalize kick resumes it into the kill path.
         """
+        self._finalizing = True
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        for app in self.apps:
+            backlog = self.backlog[app]
+            while backlog:
+                request = backlog.popleft()
+                self._fail(request, "unserved", request.arrival.arrival_ns)
         for worker in self.workers:
             if worker.retired:
                 continue
             worker.retiring = True
             self.core.kick(worker.name, worker.guest.clock.now_ns)
+
+    # -- routing core ------------------------------------------------------
+
+    def _route(self, request: Request, at_ns: float, fresh: bool) -> None:
+        app = request.arrival.app
+        if self.supervisor is not None and self.supervisor.quarantined(
+                app, at_ns):
+            self._shed(request, "quarantine", at_ns)
+            return
+        if fresh and not self.breakers[app].admit(at_ns):
+            self._shed(request, "breaker", at_ns)
+            return
+        pool = self.pools[app]
+        while pool:
+            worker = pool.pop()  # LIFO: most-recently-idle first
+            if worker.retired:
+                continue  # killed while pooled (contained dispatch fault)
+            worker.inbox.append(request)
+            self.core.kick(worker.name, at_ns)
+            return
+        if fresh and self._can_spawn(app):
+            self._spawn(app, start_ns=at_ns, first=request)
+            return
+        if self._finalizing:
+            # Nothing will drain a backlog after quiescence: settle now.
+            self._fail(request, "unserved", at_ns)
+            return
+        if len(self.backlog[app]) >= self.resilience.shed_queue_depth:
+            self._shed(request, "queue_depth", at_ns)
+            return
+        self.backlog[app].append(request)
+        self.queued += 1
+        depth = sum(len(q) for q in self.backlog.values())
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+
+    def _retry_or_fail(self, request: Request, at_ns: float) -> None:
+        """One delivery attempt failed: re-dispatch inside the retry
+        budget (warm pool or backlog only -- never a direct cold boot;
+        replacement capacity is the supervisor's call)."""
+        request.failures += 1
+        if request.failures > self.resilience.retry_budget:
+            self._fail(request, "retries_exhausted", at_ns)
+            return
+        app = request.arrival.app
+        if self.supervisor is not None and self.supervisor.quarantined(
+                app, at_ns):
+            self._fail(request, "quarantined", at_ns)
+            return
+        self.retries += 1
+        self._route(request, at_ns, fresh=False)
+
+    # -- terminal dispositions --------------------------------------------
+
+    def _settle(self, request: Request, disposition: str) -> None:
+        if request.disposition is not None:
+            raise ServingInvariantError(
+                f"request {request.arrival.index} settling twice: "
+                f"{request.disposition} then {disposition}"
+            )
+        request.disposition = disposition
+
+    def _complete(self, request: Request, at_ns: float) -> None:
+        self._settle(request, "completed")
+        app = request.arrival.app
+        self.breakers[app].record(False, at_ns)
+        if self.supervisor is not None:
+            self.supervisor.record_success(app)
+
+    def _fail(self, request: Request, reason: str, at_ns: float) -> None:
+        self._settle(request, "failed")
+        self.failed += 1
+        self.failed_reasons[reason] = self.failed_reasons.get(reason, 0) + 1
+        self.breakers[request.arrival.app].record(True, at_ns)
+
+    def _shed(self, request: Request, reason: str, at_ns: float) -> None:
+        self._settle(request, "shed")
+        self.shed += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+
+    # -- supervisor-facing surface ----------------------------------------
+
+    def restart(self, app: str, at_ns: float) -> None:
+        """A backoff restart probe fired: boot replacement capacity, but
+        only if the app still has queued work, room, and no quarantine."""
+        if self.supervisor is not None and self.supervisor.quarantined(
+                app, at_ns):
+            return
+        if not self.backlog[app] or not self._can_spawn(app):
+            return
+        self.restarts += 1
+        self._spawn(app, start_ns=at_ns, first=None, cold=True)
+
+    def watchdog_fire(self, worker: GuestWorker, at_ns: float) -> None:
+        """The watchdog deadline hit: kill *worker* if it is still hung."""
+        if worker.retired or not worker.hung:
+            return
+        self.watchdog_kills += 1
+        self.core.kick(worker.name, at_ns)
+
+    def flush_app(self, app: str, at_ns: float) -> None:
+        """Quarantine teardown: fail the backlog, retire the app's pool."""
+        backlog = self.backlog[app]
+        while backlog:
+            self._fail(backlog.popleft(), "quarantined", at_ns)
+        for worker in self.workers:
+            if worker.app != app or worker.retired or worker.retiring:
+                continue
+            worker.retiring = True
+            if worker.hung:
+                continue  # the watchdog owns hung workers
+            self.core.kick(worker.name, at_ns)
+
+    def on_runner_failure(self, name: str, error: BaseException) -> None:
+        """:class:`EventCore` contained a dispatch fault in runner *name*.
+
+        Worker programs convert ``guest.*`` faults to structured
+        outcomes themselves; this backstop reconciles router state when
+        a generic ``eventcore.dispatch`` fault kills a runner outright.
+        """
+        if self.supervisor is not None and name == Supervisor.NAME:
+            self.supervisor.dead = True
+            return
+        worker = self._by_name.get(name)
+        if worker is None or worker.retired:
+            return  # the arrivals program, or an already-settled worker
+        self._fail_worker(worker, "crash", worker.guest.clock.now_ns)
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -138,8 +335,8 @@ class Router:
         return (self.live[app] < self.policy.max_per_app
                 and self.total_live < self.policy.max_total)
 
-    def _spawn(self, app: str, start_ns: float,
-               first: Optional[Arrival]) -> None:
+    def _spawn(self, app: str, start_ns: float, first: Optional[Request],
+               cold: Optional[bool] = None) -> None:
         from repro.apps.registry import get_app
         from repro.simcore.guest import Guest, GuestSpec
 
@@ -158,12 +355,12 @@ class Router:
         )
         worker = GuestWorker(
             name=spec.name, app=app, guest=guest, spawn_ns=start_ns,
-            cold_pending=first is not None,
+            cold_pending=(first is not None) if cold is None else cold,
         )
         if first is not None:
             worker.inbox.append(first)
-            self.cold_starts += 1
         self.workers.append(worker)
+        self._by_name[spec.name] = worker
         self.live[app] += 1
         self.total_live += 1
         if self.total_live > self.peak_live:
@@ -172,17 +369,41 @@ class Router:
                         start_ns=start_ns)
 
     def _worker_program(self, worker: GuestWorker):
+        from repro.faults import FaultInjected, fault_site
+
         guest = worker.guest
         guest.build()
         yield None  # BUILT at the spawn instant; boot is the next stage
-        worker.boot_ms = guest.boot().total_ms
+        try:
+            with fault_site("guest.boot_fail"):
+                worker.boot_ms = guest.boot().total_ms
+        except FaultInjected:
+            # The corrupted-image case: this guest never serves.
+            self._fail_worker(worker, "boot_fail", guest.clock.now_ns)
+            return
         yield None
         while True:
-            arrival = self._take_work(worker)
-            if arrival is not None:
-                self._serve_one(worker, arrival)
-                yield None
-                continue
+            request = self._take_work(worker)
+            if request is not None:
+                worker.current = request
+                outcome = self._attempt(worker, request)
+                if outcome == "served":
+                    worker.current = None
+                    yield None
+                    continue
+                if outcome == "hang":
+                    self.guest_hangs += 1
+                    worker.hung = True
+                    if self.supervisor is not None:
+                        self.supervisor.watch(worker, guest.clock.now_ns)
+                    yield PARK
+                    # Only the watchdog (or finalize, if the supervisor
+                    # died) wakes a hung worker: it is killed here.
+                    worker.hung = False
+                    self._fail_worker(worker, "hang", guest.clock.now_ns)
+                    return
+                self._fail_worker(worker, "crash", guest.clock.now_ns)
+                return
             if worker.retiring:
                 self._leave_pool(worker)
                 break
@@ -204,7 +425,54 @@ class Router:
         guest.shutdown()
         self._on_retired(worker)
 
-    def _take_work(self, worker: GuestWorker) -> Optional[Arrival]:
+    def _attempt(self, worker: GuestWorker, request: Request) -> str:
+        """One serve attempt under the guest fault sites.
+
+        Narrow by design: only :class:`FaultInjected` converts to a
+        structured outcome ("hang"/"crash"); anything else propagates to
+        the core's containment (the satellite audit's no-broad-except
+        rule).
+        """
+        from repro.faults import FaultInjected, fault_site
+
+        try:
+            with fault_site("guest.hang"):
+                with fault_site("guest.crash"):
+                    self._serve_one(worker, request)
+        except FaultInjected as error:
+            return "hang" if error.site == "guest.hang" else "crash"
+        return "served"
+
+    def _fail_worker(self, worker: GuestWorker, reason: str,
+                     at_ns: float) -> None:
+        """Tear down a failed worker and fail over its queued requests."""
+        if worker.retired:
+            return
+        if reason == "crash":
+            self.guest_crashes += 1
+        elif reason == "boot_fail":
+            self.boot_failures += 1
+        self._leave_pool(worker)
+        worker.failed = True
+        worker.retired = True
+        worker.retire_ns = at_ns
+        self.live[worker.app] -= 1
+        self.total_live -= 1
+        victims: List[Request] = []
+        if worker.current is not None:
+            victims.append(worker.current)
+            worker.current = None
+        victims.extend(worker.inbox)
+        worker.inbox.clear()
+        # Quarantine decisions happen before fail-over so the victims
+        # see the post-failure world (a freshly-quarantined app fails
+        # its retries instead of re-queueing them).
+        if self.supervisor is not None:
+            self.supervisor.record_failure(worker.app, at_ns)
+        for request in victims:
+            self._retry_or_fail(request, at_ns)
+
+    def _take_work(self, worker: GuestWorker) -> Optional[Request]:
         if worker.inbox:
             return worker.inbox.popleft()
         backlog = self.backlog[worker.app]
@@ -212,18 +480,22 @@ class Router:
             return backlog.popleft()
         return None
 
-    def _serve_one(self, worker: GuestWorker, arrival: Arrival) -> None:
+    def _serve_one(self, worker: GuestWorker, request: Request) -> None:
         guest = worker.guest
         cold = worker.cold_pending
         worker.cold_pending = False
         guest.serve(self._profiles[worker.app], 1)
         worker.served += 1
+        if cold:
+            self.cold_starts += 1
+        arrival = request.arrival
         self.samples.append(LatencySample(
             index=arrival.index,
             app=arrival.app,
             latency_ns=guest.clock.now_ns - arrival.arrival_ns,
             cold=cold,
         ))
+        self._complete(request, guest.clock.now_ns)
 
     def _enter_pool(self, worker: GuestWorker) -> None:
         self.pools[worker.app].append(worker)
@@ -242,12 +514,21 @@ class Router:
     # -- accounting --------------------------------------------------------
 
     @property
+    def completed(self) -> int:
+        return len(self.samples)
+
+    @property
     def spawned(self) -> int:
         return len(self.workers)
 
     @property
     def retired_count(self) -> int:
-        return sum(1 for worker in self.workers if worker.retired)
+        return sum(1 for worker in self.workers
+                   if worker.retired and not worker.failed)
+
+    @property
+    def failed_workers(self) -> int:
+        return sum(1 for worker in self.workers if worker.failed)
 
     @property
     def guest_seconds(self) -> float:
@@ -258,6 +539,16 @@ class Router:
                    else worker.guest.clock.now_ns)
             total += max(0.0, end - worker.spawn_ns)
         return total / 1e9
+
+    def check_conservation(self) -> None:
+        """Assert the request-conservation identity (bug-trap, not load)."""
+        settled = self.completed + self.failed + self.shed + self.dropped
+        if settled != self.arrivals:
+            raise ServingInvariantError(
+                f"request conservation broke: {self.arrivals} arrivals != "
+                f"{self.completed} completed + {self.failed} failed + "
+                f"{self.shed} shed + {self.dropped} dropped"
+            )
 
     @staticmethod
     def _profile(app: str):

@@ -217,7 +217,7 @@ class TestServingDeterminism:
             ServeSpec(trace=SMALL_TRACE, policy=SCALE_TO_ZERO, seed=1)
         )
         manifest = report.manifest()
-        assert manifest["schema_version"] == SERVE_SCHEMA_VERSION
+        assert manifest["schema_version"] == SERVE_SCHEMA_VERSION == 2
         assert manifest["trace"]["kind"] == "diurnal"
         assert manifest["policy"]["name"] == "scale-to-zero"
         assert set(manifest["latency_ms"]) == {
@@ -226,6 +226,27 @@ class TestServingDeterminism:
         assert manifest["guests"]["spawned"] == report.guests_spawned
         for app, entry in manifest["per_app"].items():
             assert set(entry) == {"requests", "cold_starts", "spawned"}
+        # Schema v2: the resilience knobs and the availability section.
+        assert manifest["resilience"]["retry_budget"] == 2
+        availability = manifest["availability"]
+        assert set(availability) == {
+            "arrivals", "completed", "dropped", "failed", "shed",
+            "error_rate", "shed_rate", "failed_reasons", "shed_reasons",
+            "retries", "restarts", "guest_crashes", "guest_hangs",
+            "boot_failures", "watchdog_kills", "quarantines",
+            "breaker_opens", "goodput_rps",
+        }
+        assert availability["arrivals"] == SMALL_TRACE.requests
+        # Zero-fault run: no availability events at all.
+        assert availability["failed"] == availability["shed"] == 0
+        assert availability["retries"] == availability["restarts"] == 0
+        assert manifest["guests"]["failed"] == 0
+        assert availability["goodput_rps"] > 0.0
+        # Conservation, as written into the manifest itself.
+        assert availability["arrivals"] == (
+            manifest["served"] + availability["failed"]
+            + availability["shed"] + manifest["dropped"]
+        )
         # Execution counters stay outside the manifest.
         assert "eventcore" not in json.dumps(manifest)
         assert report.eventcore_stats is not None

@@ -35,9 +35,21 @@
 # The serving gate runs bench-serve --check (the canonical 100k-request
 # diurnal trace per warm-pool policy, each run twice: manifests must
 # reproduce byte-identically, scale-to-zero must cold-boot >= 1000
-# guests with a nonzero cold-start fraction, and the fixed pool must buy
-# the latency tail back) and regresses its counters and digests against
+# guests with a nonzero cold-start fraction, the fixed pool must buy
+# the latency tail back, and the chaos scenario must recover -- nonzero
+# restarts/retries, error rate below the injected fault mass, request
+# conservation) and regresses its counters and digests against
 # benchmarks/baseline/BENCH_serve.json.
+#
+# The chaos-serve gate (repro-lupine chaos-serve) reruns the canonical
+# serving trace under the stock seeded guest-fault schedule and asserts
+# the serving resilience invariants: faulted reruns and the --jobs
+# policy sweep are byte-identical, and an installed-but-empty fault
+# plane reproduces the committed BENCH_serve.json digests exactly.
+#
+# The fault-site drift check (tools/check_fault_sites.py) cross-checks
+# every fault_site()/corrupt_text() literal wired in src/ against the
+# site table in docs/RESILIENCE.md, both directions.
 #
 # No PYTHONHASHSEED pin anywhere: every config-option float fold
 # iterates its frozenset sorted, so all manifest digests are hash-seed
@@ -64,6 +76,9 @@ python "$REPO_ROOT/tools/lint_time.py"
 
 echo "==> docs dead-link check"
 python "$REPO_ROOT/tools/check_docs_links.py"
+
+echo "==> fault-site registry drift check"
+python "$REPO_ROOT/tools/check_fault_sites.py"
 
 echo "==> tier-1 test suite"
 (cd "$REPO_ROOT" && PYTHONPATH=src python -m pytest -q)
@@ -123,5 +138,8 @@ PYTHONPATH=src python -m repro.cli bench-serve --check \
 PYTHONPATH=src python -m repro.observe.regress \
     benchmarks/baseline/BENCH_serve.json "$RUN_DIR/BENCH_serve.json" \
     --no-timings
+
+echo "==> chaos-serve gate (seeded guest faults, rerun/jobs/zero-fault)"
+PYTHONPATH=src python -m repro.cli chaos-serve --seed 77 --jobs 2
 
 echo "==> all checks passed"

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Fault-site registry drift check: code and docs must agree.
+
+Every fault-injection site is a string literal at its call site
+(``with fault_site("kbuild.build"): ...`` or
+``corrupt_text("resultcache.load", text)``), and every site is
+documented in a site table in ``docs/RESILIENCE.md``.  Nothing ties the
+two together at runtime -- an undocumented site silently escapes the
+chaos schedules' coverage story, and a documented-but-unwired site
+makes the docs lie -- so this check walks both and fails on drift in
+either direction:
+
+- **undocumented** -- a ``fault_site(...)``/``corrupt_text(...)``
+  string literal wired somewhere under ``src/repro`` whose site name
+  appears in no RESILIENCE.md table;
+- **unwired** -- a site name documented in a RESILIENCE.md table that
+  no code path marks any more.
+
+Site names are collected from the first backticked cell of markdown
+table rows, filtered to dotted lowercase tokens (``layer.event``), so
+prose mentions and fault-*kind* tables don't count as registry entries.
+Run: ``python tools/check_fault_sites.py`` (exit 1 on drift); wired
+into ``tools/check.sh`` and CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+from typing import Dict, List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+DOC_PATH = REPO_ROOT / "docs" / "RESILIENCE.md"
+
+#: The functions whose first string argument names a fault site.
+MARKERS = ("fault_site", "corrupt_text")
+
+#: A registry entry: the first backticked cell of a table row, holding
+#: a dotted lowercase token.
+TABLE_SITE = re.compile(r"^\|\s*`([a-z_]+\.[a-z_]+)`\s*\|")
+
+
+def _marker_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def wired_sites() -> Dict[str, List[Tuple[str, int]]]:
+    """Map site name -> [(file, line), ...] for every marked call site."""
+    sites: Dict[str, List[Tuple[str, int]]] = {}
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        relative = str(path.relative_to(REPO_ROOT))
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=relative)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _marker_name(node) not in MARKERS:
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value,
+                                                             str):
+                sites.setdefault(first.value, []).append(
+                    (relative, node.lineno)
+                )
+    return sites
+
+
+def documented_sites(doc_path: pathlib.Path = DOC_PATH) -> Dict[str, int]:
+    """Map site name -> line number of its table row in the doc."""
+    sites: Dict[str, int] = {}
+    for lineno, line in enumerate(
+            doc_path.read_text(encoding="utf-8").splitlines(), start=1):
+        match = TABLE_SITE.match(line)
+        if match:
+            sites.setdefault(match.group(1), lineno)
+    return sites
+
+
+def check_drift() -> List[str]:
+    wired = wired_sites()
+    documented = documented_sites()
+    doc_relative = DOC_PATH.relative_to(REPO_ROOT)
+    violations = []
+    for site in sorted(set(wired) - set(documented)):
+        where = ", ".join(f"{f}:{n}" for f, n in wired[site])
+        violations.append(
+            f"[undocumented] fault site {site!r} is wired at {where} but "
+            f"missing from the {doc_relative} site tables"
+        )
+    for site in sorted(set(documented) - set(wired)):
+        violations.append(
+            f"[unwired] {doc_relative}:{documented[site]} documents fault "
+            f"site {site!r}, but no fault_site()/corrupt_text() call in "
+            f"src/repro marks it"
+        )
+    return violations
+
+
+def main() -> int:
+    violations = check_drift()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"check_fault_sites: {len(violations)} drift(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_fault_sites: ok ({len(wired_sites())} sites wired and "
+          f"documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
