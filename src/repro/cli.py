@@ -35,6 +35,15 @@ Subcommands:
 - ``bench-serve``      -- the serving microbenchmark: the canonical
   100k-request diurnal trace per warm-pool policy, run twice each for
   the determinism contract, written to ``BENCH_serve.json``.
+- ``derive``           -- trace-driven specialization: record an app's
+  usage (syscalls, config options, facilities), derive a minimal config
+  from the observation and diff it against the curated one (see
+  docs/SPECIALIZATION.md).
+- ``bench-derive``     -- the specialization microbenchmark: the full
+  record/derive/audit loop for every top-20 app, run twice each, as
+  deterministic work-counter deltas written to ``BENCH_derive.json``;
+  ``--check`` enforces full coverage, the 1.5x option-ratio ceiling and
+  rerun/--jobs digest equality.
 - ``chaos-serve``      -- the serving chaos gate: the canonical trace
   under a seeded guest-fault schedule (crash/hang/boot-fail/arrival),
   asserting faulted reruns and ``--jobs`` sweeps are byte-identical,
@@ -292,7 +301,8 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         policy = named_policy(name)
         if overrides:
             policy = policy.with_overrides(**overrides)
-        specs.append(ServeSpec(trace=trace, policy=policy, seed=args.seed))
+        specs.append(ServeSpec(trace=trace, policy=policy, seed=args.seed,
+                               record_usage=args.record_usage))
     if args.chaos:
         from repro import faults
         from repro.traffic.chaos import default_serving_schedule
@@ -321,6 +331,15 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         )
         print(f"report       : {report_path}")
         print(f"digest       : sha256 {report.manifest_digest}")
+        if args.record_usage and report.usage_by_app:
+            from repro.kconfig.derive import usage_option_requirements
+
+            print("recorded usage (per app: calls -> derived options):")
+            for app_name, trace in report.usage_by_app.items():
+                options = sorted(usage_option_requirements(trace))
+                print(f"  {app_name:<12} {trace.call_count:>8} calls, "
+                      f"{len(trace.syscalls):>2} syscalls -> "
+                      f"{', '.join(options) if options else '(base only)'}")
     return 0
 
 
@@ -360,9 +379,80 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_derive(args: argparse.Namespace) -> int:
+    from repro.apps.registry import get_app, top20_in_popularity_order
+    from repro.core.specialization import app_option_requirements
+    from repro.core.tracing import usage_trace_for_app
+    from repro.kconfig.derive import derivation_report
+
+    apps = ([get_app(args.app)] if args.app is not None
+            else list(top20_in_popularity_order()))
+    for app in apps:
+        trace = usage_trace_for_app(app)
+        report = derivation_report(trace)
+        curated = app_option_requirements(app)
+        print(f"{app.name}: {trace.call_count} recorded calls, "
+              f"{len(trace.syscalls)} distinct syscalls, "
+              f"{len(report.extras)} options beyond lupine-base")
+        for option in report.extras:
+            marker = "" if option in curated else "  (observed, not curated)"
+            print(f"  {option}{marker}")
+        missed = sorted(curated - set(report.extras))
+        for option in missed:
+            print(f"  {option}  (curated, never exercised)")
+        print(f"  options      : {report.option_count} enabled "
+              f"(covers recorded usage: {'yes' if report.covers else 'NO'})")
+        print(f"  usage digest : sha256 {report.usage_digest[:16]}")
+        print(f"  config digest: sha256 {report.config_digest[:16]}")
+        if args.defconfig:
+            for option in report.request:
+                print(f"CONFIG_{option}=y")
+    return 0
+
+
+def _cmd_bench_derive(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.core.bench import (
+        BENCH_DERIVE_NAME,
+        check_result,
+        render_summary,
+        run_bench,
+        write_result,
+    )
+    from repro.harness.runner import default_output_dir
+
+    result = run_bench(jobs=args.jobs)
+    output_dir = (
+        pathlib.Path(args.output_dir)
+        if args.output_dir is not None else default_output_dir()
+    )
+    result_path = output_dir / BENCH_DERIVE_NAME
+    write_result(result, result_path)
+    print(render_summary(result))
+    print(f"written      : {result_path}")
+    if args.snapshot is not None:
+        snapshot_path = pathlib.Path(args.snapshot)
+        write_result(result, snapshot_path)
+        print(f"snapshot     : {snapshot_path}")
+    if args.check:
+        failures = check_result(result)
+        for failure in failures:
+            print(f"CHECK FAILED : {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check        : ok (full coverage, bounded option ratio, "
+              "and rerun digests hold)")
+    return 0
+
+
 def _resolve_config_argument(name: str):
     from repro.apps.registry import get_app
-    from repro.core.specialization import app_config, lupine_general_config
+    from repro.core.specialization import (
+        app_config,
+        derived_app_config,
+        lupine_general_config,
+    )
     from repro.kconfig.configs import lupine_base_config, microvm_config
 
     if name == "microvm":
@@ -371,6 +461,8 @@ def _resolve_config_argument(name: str):
         return lupine_base_config()
     if name in ("lupine-general", "general"):
         return lupine_general_config()
+    if name.startswith("derived:"):
+        return derived_app_config(name.partition(":")[2])
     return app_config(get_app(name))
 
 
@@ -732,6 +824,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "gains nonzero availability counters)")
     sub.add_argument("--chaos-seed", type=int, default=77, metavar="N",
                      help="fault-schedule seed for --chaos (default 77)")
+    sub.add_argument("--record-usage", action="store_true",
+                     help="attach a usage recorder to every guest; the "
+                          "report gains a per-app usage section feeding "
+                          "trace-driven derivation (see "
+                          "docs/SPECIALIZATION.md)")
     sub.set_defaults(func=_cmd_fleet_serve)
 
     sub = subparsers.add_parser(
@@ -753,6 +850,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="where BENCH_serve.json lands "
                           "(default: benchmarks/output/)")
     sub.set_defaults(func=_cmd_bench_serve)
+
+    sub = subparsers.add_parser(
+        "derive",
+        help="derive an app config from its recorded usage trace and "
+             "diff it against the curated one (see "
+             "docs/SPECIALIZATION.md)",
+    )
+    sub.add_argument("--app", default=None, metavar="APP",
+                     help="derive for one app (default: all top-20)")
+    sub.add_argument("--defconfig", action="store_true",
+                     help="also print the minimized request as "
+                          "CONFIG_*=y defconfig lines")
+    sub.set_defaults(func=_cmd_derive)
+
+    sub = subparsers.add_parser(
+        "bench-derive",
+        help="trace-driven specialization microbenchmark: record + "
+             "derive + audit for every top-20 app, twice each "
+             "(deterministic work deltas; writes BENCH_derive.json)",
+    )
+    sub.add_argument("--check", action="store_true",
+                     help="exit 1 unless every derived config covers "
+                          "100%% of its recorded usage, stays within "
+                          "1.5x the curated option count, and both "
+                          "reruns reproduce their digests")
+    sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (apps fan out; hermetic "
+                          "shards keep the document byte-identical "
+                          "for any N)")
+    sub.add_argument("--snapshot", default=None, metavar="PATH",
+                     help="also write the result JSON to PATH (e.g. "
+                          "benchmarks/baseline/BENCH_derive.json)")
+    sub.add_argument("--output-dir", default=None, metavar="DIR",
+                     help="where BENCH_derive.json lands "
+                          "(default: benchmarks/output/)")
+    sub.set_defaults(func=_cmd_bench_derive)
 
     sub = subparsers.add_parser(
         "chaos-serve",

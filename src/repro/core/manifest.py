@@ -19,8 +19,9 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Tuple
 
 from repro.apps.app import Application
-from repro.apps.registry import OPTION_FACILITIES, option_for_facility
-from repro.syscall.table import SYSCALLS, option_for_syscall
+from repro.apps.registry import OPTION_FACILITIES
+from repro.core.optionset import implied_options
+from repro.syscall.table import SYSCALLS
 
 
 @dataclass(frozen=True)
@@ -63,17 +64,11 @@ def generate_manifest(app: Application) -> ApplicationManifest:
 def derive_options(manifest: ApplicationManifest) -> FrozenSet[str]:
     """Kconfig options (atop lupine-base) a manifest implies.
 
-    Syscalls map through the Table 1 gating; facilities map through the
-    socket-family/mount/crypto table.  Ungated syscalls imply nothing.
+    Delegates to the shared syscall/facility -> option mapping in
+    :mod:`repro.core.optionset`, the same one trace-driven derivation
+    uses.
     """
-    options = set()
-    for name in manifest.syscalls:
-        option = option_for_syscall(name)
-        if option is not None:
-            options.add(option)
-    for facility in manifest.facilities:
-        options.add(option_for_facility(facility))
-    return frozenset(options)
+    return implied_options(manifest.syscalls, manifest.facilities)
 
 
 def manifest_from_trace(

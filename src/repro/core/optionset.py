@@ -1,0 +1,69 @@
+"""Shared option-set accounting for curated and derived configurations.
+
+Three parts of the tree historically carried their own notion of "the
+option set" of an application or configuration: manifest-implied extras
+(:func:`repro.core.manifest.derive_options`), minimal request sets
+(:mod:`repro.kconfig.minimize`), and the attack-surface report
+(:mod:`repro.security.attack_surface`).  This module is the single
+mapping point for the first and the single surface-metric fold for the
+last, so a trace-derived config reports exactly the same metrics as a
+curated one.  (Minimal request sets stay in :mod:`repro.kconfig.minimize`
+-- they are a property of a resolved config, not of a usage set -- but
+derivation and minimization both consume the helpers here.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.apps.registry import option_for_facility
+from repro.kbuild.image import CORE_TEXT_KB
+from repro.kconfig.resolver import ResolvedConfig
+from repro.syscall.table import available_syscalls, option_for_syscall
+
+
+def implied_options(
+    syscalls: Iterable[str], facilities: Iterable[str] = ()
+) -> FrozenSet[str]:
+    """Kconfig options (atop lupine-base) a usage set implies.
+
+    Syscalls map through the Table 1 gating (ungated syscalls imply
+    nothing); facilities map through the socket-family/mount/crypto
+    table.  This is the one syscall/facility -> option mapping: manifest
+    derivation and trace-driven derivation both call it.
+    """
+    options = set()
+    for name in syscalls:
+        option = option_for_syscall(name)
+        if option is not None:
+            options.add(option)
+    for facility in facilities:
+        options.add(option_for_facility(facility))
+    return frozenset(options)
+
+
+@dataclass(frozen=True)
+class OptionSurface:
+    """Surface metrics of one resolved configuration."""
+
+    option_count: int
+    surface_kb: float
+    reachable_syscalls: int
+
+
+def option_surface(config: ResolvedConfig) -> OptionSurface:
+    """Surface metrics shared by security reports and derive benchmarks.
+
+    The size fold iterates the enabled frozenset sorted so the float sum
+    is identical under any PYTHONHASHSEED.
+    """
+    tree = config.tree
+    surface_kb = CORE_TEXT_KB + sum(
+        tree[name].size_kb for name in sorted(config.enabled)
+    )
+    return OptionSurface(
+        option_count=len(config.enabled),
+        surface_kb=surface_kb,
+        reachable_syscalls=len(available_syscalls(config.enabled)),
+    )

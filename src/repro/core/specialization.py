@@ -3,6 +3,15 @@
 Reproduces Section 3.1/4.1: starting from ``lupine-base``, add back exactly
 the options an application's manifest implies; ``lupine-general`` is the
 union over the top-20 applications (19 options, Figure 5).
+
+Two routes produce an app-specialized config:
+
+- **curated** (:func:`app_config`): the manifest route, mirroring the
+  paper's hand-derived Table 3 options;
+- **derived** (:func:`derived_app_config`): the trace-driven route --
+  record the app's usage under a recorder
+  (:func:`repro.core.tracing.usage_trace_for_app`), then derive the
+  config from the observation (:mod:`repro.kconfig.derive`).
 """
 
 from __future__ import annotations
@@ -10,12 +19,15 @@ from __future__ import annotations
 from typing import FrozenSet, List, Optional, Union
 
 from repro.apps.app import Application
-from repro.apps.registry import TOP20_APPS, lupine_general_option_union
+from repro.apps.registry import TOP20_APPS, get_app, lupine_general_option_union
 from repro.core.manifest import ApplicationManifest, derive_options, generate_manifest
+from repro.core.tracing import usage_trace_for_app
 from repro.kconfig.configs import lupine_base_config
 from repro.kconfig.database import base_option_names, build_linux_tree
+from repro.kconfig.derive import derive_config, usage_option_requirements
 from repro.kconfig.model import KconfigTree
 from repro.kconfig.resolver import ResolvedConfig, Resolver
+from repro.syscall.usage import UsageTrace
 
 
 def app_option_requirements(
@@ -77,6 +89,66 @@ def lupine_general_config(tree: Optional[KconfigTree] = None) -> ResolvedConfig:
         lupine_base_config(tree), lupine_general_names(),
         name="lupine-general",
     )
+
+
+def derived_option_requirements(
+    app_or_trace: Union[Application, str, UsageTrace],
+) -> FrozenSet[str]:
+    """Options atop lupine-base observed usage implies (derived route).
+
+    The trace-driven analogue of :func:`app_option_requirements`.  For
+    every registry app the derived set is a superset of the curated one
+    (the recorded run exercises every facility and syscall the manifest
+    lists); serving apps can gain options curation missed -- e.g. php's
+    request loop epolls, so its derived config enables ``EPOLL`` even
+    though its curated manifest lists no options.
+    """
+    trace = _usage_trace(app_or_trace)
+    return usage_option_requirements(trace)
+
+
+def derived_app_config_names(
+    target: Union[Application, ApplicationManifest, str, UsageTrace],
+) -> List[str]:
+    """The full requested-option list for a trace-derived kernel.
+
+    Mirrors :func:`app_config_names` for the derived family; manifests
+    map back to their registry application so the recorded run (not the
+    curated syscall list) drives the request.
+    """
+    if isinstance(target, ApplicationManifest):
+        target = target.app_name
+    return base_option_names() + sorted(derived_option_requirements(target))
+
+
+def derived_app_config(
+    app_or_trace: Union[Application, str, UsageTrace],
+    tree: Optional[KconfigTree] = None,
+) -> ResolvedConfig:
+    """Resolve the trace-derived Lupine configuration for an app.
+
+    Like :func:`app_config`, resolved warm from the shared
+    ``lupine-base`` fixpoint, but requested from observation instead of
+    curation.  Accepts an :class:`~repro.syscall.usage.UsageTrace`
+    directly (e.g. one merged off a ``fleet-serve`` run).
+    """
+    if tree is None:
+        tree = build_linux_tree()
+    trace = _usage_trace(app_or_trace)
+    return derive_config(
+        trace, tree, name=f"lupine-derived-{trace.owner or 'anon'}"
+    )
+
+
+def _usage_trace(app_or_trace: Union[Application, str, UsageTrace]) -> UsageTrace:
+    if isinstance(app_or_trace, UsageTrace):
+        return app_or_trace
+    app = (
+        get_app(app_or_trace)
+        if isinstance(app_or_trace, str)
+        else app_or_trace
+    )
+    return usage_trace_for_app(app)
 
 
 def verify_general_covers_top20() -> bool:

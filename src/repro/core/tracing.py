@@ -22,6 +22,7 @@ from repro.apps.app import Application
 from repro.core.manifest import ApplicationManifest, manifest_from_trace
 from repro.kconfig.configs import microvm_config
 from repro.syscall.dispatch import SyscallEngine
+from repro.syscall.usage import UsageTrace
 
 #: The syscall order of a typical dynamically-linked ELF startup (execve
 #: through libc init), used to give traces a realistic prefix.
@@ -78,16 +79,8 @@ def _provisioned_engine() -> SyscallEngine:
     return SyscallEngine.for_config(microvm_config().enabled)
 
 
-def trace_app_run(app: Application) -> SyscallTrace:
-    """Run *app*'s startup + a short workload burst under the tracer.
-
-    The run consists of the ELF/libc startup prefix, the app's own startup
-    behaviour (config files, socket setup, mounts -- driven by its declared
-    facilities), then one pass over every distinct syscall the app uses at
-    runtime, so rarely-exercised gated calls still land in the trace.
-    """
-    tracer = SyscallTracer(_provisioned_engine(), app.name)
-
+def _drive_app(tracer: SyscallTracer, app: Application) -> None:
+    """The standard app run: startup prefix, facilities, runtime pass."""
     for name in _STARTUP_SEQUENCE:
         tracer.syscall(name)
 
@@ -119,7 +112,47 @@ def trace_app_run(app: Application) -> SyscallTrace:
     for name in sorted(app.syscalls):
         tracer.syscall(name)
 
+
+def trace_app_run(app: Application) -> SyscallTrace:
+    """Run *app*'s startup + a short workload burst under the tracer.
+
+    The run consists of the ELF/libc startup prefix, the app's own startup
+    behaviour (config files, socket setup, mounts -- driven by its declared
+    facilities), then one pass over every distinct syscall the app uses at
+    runtime, so rarely-exercised gated calls still land in the trace.
+    """
+    tracer = SyscallTracer(_provisioned_engine(), app.name)
+    _drive_app(tracer, app)
     return tracer.trace
+
+
+def usage_trace_for_app(app: Application) -> UsageTrace:
+    """Record *app*'s usage set: the same run, with a recorder attached.
+
+    This is the recording half of the Loupe loop.  Apps with a serving
+    profile additionally serve a short request burst through
+    ``invoke_batch``, so closed-form folds contribute to the recorded
+    usage exactly as they do at fleet scale -- attribution without
+    stepping.
+    """
+    engine = _provisioned_engine()
+    usage = UsageTrace(owner=app.name)
+    engine.usage = usage
+    tracer = SyscallTracer(engine, app.name)
+    _drive_app(tracer, app)
+    for facility in tracer.trace.facilities:
+        usage.record_facility(facility)
+
+    from repro.core.orchestrator import serving_profile  # avoid cycle
+
+    profile = serving_profile(app.name)
+    if profile is not None:
+        # Served requests arrive over TCP: serving is itself an observed
+        # use of the inet stack, whether or not the curated manifest
+        # lists it (php's does not -- measurement catches it).
+        usage.record_facility("socket:inet")
+        engine.invoke_batch(list(profile.syscalls), profile.app_ns, repeats=16)
+    return usage
 
 
 def manifest_from_app_trace(app: Application) -> ApplicationManifest:

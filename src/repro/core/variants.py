@@ -7,6 +7,9 @@
 - ``lupine-tiny``   : optimized for space: -Os plus 9 modified
   space/performance tradeoff options (footnote 8).
 - ``lupine-general``: the 19-option union config; not application-specific.
+- ``lupine-derived``: app-specific config requested from *observed* usage
+  (:mod:`repro.kconfig.derive`) instead of the curated manifest; the
+  trace-driven family, with and without KML.
 """
 
 from __future__ import annotations
@@ -18,7 +21,11 @@ from typing import List, Optional, Tuple, Union
 from repro.apps.app import Application
 from repro.core.buildcache import BUILD_CACHE, config_fingerprint
 from repro.core.manifest import ApplicationManifest
-from repro.core.specialization import app_config_names, lupine_general_names
+from repro.core.specialization import (
+    app_config_names,
+    derived_app_config_names,
+    lupine_general_names,
+)
 from repro.kbuild.builder import KernelBuilder
 from repro.kbuild.image import KernelImage
 from repro.kconfig.configs import lupine_base_config, microvm_config
@@ -56,11 +63,13 @@ class Variant(enum.Enum):
     LUPINE_NOKML_TINY = "lupine-nokml-tiny"
     LUPINE_GENERAL = "lupine-general"
     LUPINE_GENERAL_NOKML = "lupine-nokml-general"
+    LUPINE_DERIVED = "lupine-derived"
+    LUPINE_DERIVED_NOKML = "lupine-nokml-derived"
 
     @property
     def kml(self) -> bool:
         return self in (Variant.LUPINE, Variant.LUPINE_TINY,
-                        Variant.LUPINE_GENERAL)
+                        Variant.LUPINE_GENERAL, Variant.LUPINE_DERIVED)
 
     @property
     def tiny(self) -> bool:
@@ -69,6 +78,11 @@ class Variant(enum.Enum):
     @property
     def general(self) -> bool:
         return self in (Variant.LUPINE_GENERAL, Variant.LUPINE_GENERAL_NOKML)
+
+    @property
+    def derived(self) -> bool:
+        """Config requested from observed usage instead of curation."""
+        return self in (Variant.LUPINE_DERIVED, Variant.LUPINE_DERIVED_NOKML)
 
 
 @dataclass(frozen=True)
@@ -118,6 +132,13 @@ def _variant_names(
 ) -> List[str]:
     if variant.general:
         names = list(lupine_general_names())
+    elif variant.derived:
+        if target is None:
+            raise ValueError(
+                "derived variants specialize to observed usage; "
+                "pass a target application"
+            )
+        names = list(derived_app_config_names(target))
     elif target is None:
         # No application: the bare lupine-base kernel (enough for hello
         # world, the Figure 6/7 measurement target).

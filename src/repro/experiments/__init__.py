@@ -8,6 +8,7 @@ these, so there is exactly one implementation of every experiment.
 
 from repro.experiments import (  # noqa: F401
     ext_coldstart,
+    ext_derived,
     ext_security,
     fig3_config_options,
     fig4_breakdown,
@@ -48,6 +49,7 @@ PAPER_EXPERIMENTS = {
 #: Extension studies (DESIGN.md §6), runnable through the same harness.
 EXTENSION_EXPERIMENTS = {
     "ext-coldstart": ext_coldstart,
+    "ext-derived": ext_derived,
     "ext-security": ext_security,
 }
 

@@ -19,11 +19,10 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
-from repro.kbuild.image import CORE_TEXT_KB
+from repro.core.optionset import option_surface
 from repro.kconfig.database import build_linux_tree
 from repro.kconfig.model import KconfigTree
 from repro.kconfig.resolver import ResolvedConfig
-from repro.syscall.table import available_syscalls
 
 #: Size of the synthesized CVE corpus (Alharthi et al. studied 1,530).
 CVE_CORPUS_SIZE = 1530
@@ -125,13 +124,14 @@ class AttackSurfaceReport:
 
 
 def analyze_config(config: ResolvedConfig) -> AttackSurfaceReport:
-    """Compute the attack-surface report for one resolved configuration."""
+    """Compute the attack-surface report for one resolved configuration.
+
+    Surface metrics come from the shared fold in
+    :func:`repro.core.optionset.option_surface`, so curated and
+    trace-derived configs report identically-computed numbers.
+    """
     tree = config.tree
-    # Sorted fold over the frozenset so the float sum is identical under
-    # any PYTHONHASHSEED.
-    surface_kb = CORE_TEXT_KB + sum(
-        tree[name].size_kb for name in sorted(config.enabled)
-    )
+    surface = option_surface(config)
     applicable: List[Cve] = []
     nullified: List[Cve] = []
     for cve in cve_database(tree):
@@ -141,8 +141,8 @@ def analyze_config(config: ResolvedConfig) -> AttackSurfaceReport:
             nullified.append(cve)
     return AttackSurfaceReport(
         config_name=config.name or "<unnamed>",
-        surface_kb=surface_kb,
-        reachable_syscalls=len(available_syscalls(config.enabled)),
+        surface_kb=surface.surface_kb,
+        reachable_syscalls=surface.reachable_syscalls,
         applicable_cves=tuple(applicable),
         nullified_cves=tuple(nullified),
     )

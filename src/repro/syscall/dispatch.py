@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 from repro.simcore.clock import VirtualClock
 from repro.syscall.cpu import CpuCostModel, EntryMechanism
 from repro.syscall.table import SYSCALLS, Syscall
+from repro.syscall.usage import UsageTrace
 
 
 class SyscallError(Exception):
@@ -73,6 +74,9 @@ class SyscallEngine:
     clock: VirtualClock = field(default_factory=VirtualClock)
     call_count: int = 0
     per_syscall_counts: Dict[str, int] = field(default_factory=dict)
+    #: Optional usage recorder (see :mod:`repro.syscall.usage`).  Pure
+    #: bookkeeping: attaching one never changes timing or counters.
+    usage: Optional[UsageTrace] = None
 
     @property
     def clock_ns(self) -> float:
@@ -122,6 +126,19 @@ class SyscallEngine:
             return False
         return True
 
+    def _lookup_recorded(self, name: str) -> Syscall:
+        """``lookup`` that reports ENOSYS misses to the usage recorder.
+
+        Only invocation paths use this; ``supports`` probes stay
+        unrecorded (a capability check is not an exercised syscall).
+        """
+        try:
+            return self.lookup(name)
+        except SyscallNotImplemented as exc:
+            if self.usage is not None:
+                self.usage.record_miss(exc.syscall_name, exc.missing_option)
+            raise
+
     # -- invocation --------------------------------------------------------
 
     def invoke(self, name: str, work_ns: float = 0.0) -> SyscallResult:
@@ -129,7 +146,7 @@ class SyscallEngine:
 
         *work_ns* models data-dependent handler work (e.g. copied bytes).
         """
-        syscall = self.lookup(name)
+        syscall = self._lookup_recorded(name)
         latency = self.cost_model.syscall_ns(
             syscall.handler_ns + work_ns, syscall.data_path
         )
@@ -137,6 +154,8 @@ class SyscallEngine:
         self.clock.advance(latency)
         self.call_count += 1
         self.per_syscall_counts[name] = self.per_syscall_counts.get(name, 0) + 1
+        if self.usage is not None:
+            self.usage.record(name, syscall.option)
         return SyscallResult(name=name, latency_ns=latency)
 
     def latency_ns(self, name: str, work_ns: float = 0.0) -> float:
@@ -179,7 +198,7 @@ class SyscallEngine:
             raise ValueError("cannot run a negative number of rounds")
         if work_ns < 0:
             raise ValueError("cannot perform negative work")
-        syscalls = [self.lookup(name) for name in names]
+        syscalls = [self._lookup_recorded(name) for name in names]
         if repeats == 0:
             return self.clock_ns
         bases = [
@@ -218,6 +237,11 @@ class SyscallEngine:
             self.per_syscall_counts[name] = (
                 self.per_syscall_counts.get(name, 0) + repeats
             )
+        if self.usage is not None:
+            # Closed-form attribution: one record per position with the
+            # full repeat count -- no stepping, same totals as the loop.
+            for name, syscall in zip(names, syscalls):
+                self.usage.record(name, syscall.option, repeats)
         return clock
 
     def _jitter(self) -> float:

@@ -9,7 +9,7 @@ the paper's dynamic-analysis tooling ecosystem: DockerSlim, Twistlock).
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.syscall.table import SYSCALLS
 
@@ -18,12 +18,31 @@ _LINE_RE = re.compile(
     r"(?P<ret>-?\d+|\?)"
 )
 
+#: A formattable event: a bare syscall name (return value 0) or a
+#: ``(name, ret)`` pair, where ``ret=None`` renders strace's "no return"
+#: marker ``?`` (a call interrupted by process death).
+TraceEvent = Union[str, Tuple[str, Optional[int]]]
 
-def format_trace(events: Iterable[str]) -> str:
-    """Render events as plain strace lines (zero return values)."""
+
+def format_trace(events: Iterable[TraceEvent]) -> str:
+    """Render events as plain strace lines.
+
+    The formatter is the write side of the interchange format and emits
+    only lines :func:`parse_trace` accepts: unknown syscall names raise
+    ``ValueError`` instead of silently producing lines the parser would
+    drop, and every return value the parser's grammar admits (integers
+    and ``?``) can be emitted.
+    """
     lines = []
-    for name in events:
-        lines.append(f"{name}() = 0")
+    for event in events:
+        if isinstance(event, str):
+            name: str = event
+            ret: Optional[int] = 0
+        else:
+            name, ret = event
+        if name not in SYSCALLS:
+            raise ValueError(f"unknown syscall in trace: {name!r}")
+        lines.append(f"{name}() = {'?' if ret is None else ret}")
     return "\n".join(lines) + "\n"
 
 
@@ -40,15 +59,18 @@ def format_summary(counts: dict, total_ns: float = 0.0) -> str:
     return "\n".join(lines)
 
 
-def parse_trace(text: str, strict: bool = False) -> List[str]:
-    """Parse plain strace output into an ordered syscall list.
+def parse_trace_events(
+    text: str, strict: bool = False
+) -> List[Tuple[str, Optional[int]]]:
+    """Parse plain strace output into ordered ``(name, ret)`` pairs.
 
-    Lines that do not look like syscalls (signal deliveries, resumptions,
-    exit notices) are skipped.  Unknown syscall names are skipped too
-    unless *strict*, in which case they raise -- useful for catching
-    typos in hand-written trace fixtures.
+    ``ret`` is the integer return value, or ``None`` for the ``?``
+    marker.  Lines that do not look like syscalls (signal deliveries,
+    resumptions, exit notices) are skipped.  Unknown syscall names are
+    skipped too unless *strict*, in which case they raise -- useful for
+    catching typos in hand-written trace fixtures.
     """
-    events: List[str] = []
+    events: List[Tuple[str, Optional[int]]] = []
     for raw in text.splitlines():
         line = raw.strip()
         if not line or line.startswith(("+++", "---")):
@@ -61,12 +83,30 @@ def parse_trace(text: str, strict: bool = False) -> List[str]:
             if strict:
                 raise ValueError(f"unknown syscall in trace: {name!r}")
             continue
-        events.append(name)
+        ret = match.group("ret")
+        events.append((name, None if ret == "?" else int(ret)))
     return events
 
 
-def roundtrip(events: Iterable[str]) -> Tuple[List[str], bool]:
-    """Format then parse; returns (parsed, lossless?)."""
+def parse_trace(text: str, strict: bool = False) -> List[str]:
+    """Parse plain strace output into an ordered syscall-name list."""
+    return [name for name, _ in parse_trace_events(text, strict=strict)]
+
+
+def roundtrip(events: Iterable[TraceEvent]) -> Tuple[list, bool]:
+    """Format then parse; returns (parsed, lossless?).
+
+    Bare-name event lists parse back to names; if any event carries an
+    explicit return value, the comparison is over ``(name, ret)`` pairs
+    (bare names normalize to return value 0).
+    """
     events = list(events)
-    parsed = parse_trace(format_trace(events))
-    return parsed, parsed == events
+    if all(isinstance(event, str) for event in events):
+        parsed: list = parse_trace(format_trace(events))
+        return parsed, parsed == events
+    want = [
+        (event, 0) if isinstance(event, str) else (event[0], event[1])
+        for event in events
+    ]
+    parsed = parse_trace_events(format_trace(events))
+    return parsed, parsed == want

@@ -112,11 +112,13 @@ class Router:
 
     def __init__(self, core: EventCore, orchestrator, policy: WarmPoolPolicy,
                  apps: List[str],
-                 resilience: ResiliencePolicy = DEFAULT_RESILIENCE) -> None:
+                 resilience: ResiliencePolicy = DEFAULT_RESILIENCE,
+                 record_usage: bool = False) -> None:
         self.core = core
         self.orchestrator = orchestrator
         self.policy = policy
         self.resilience = resilience
+        self.record_usage = record_usage
         self.apps = list(apps)
         self.pools: Dict[str, List[GuestWorker]] = {a: [] for a in self.apps}
         self.backlog: Dict[str, Deque[Request]] = {
@@ -373,6 +375,15 @@ class Router:
 
         guest = worker.guest
         guest.build()
+        if self.record_usage:
+            from repro.syscall.usage import UsageTrace
+
+            # Attach the recorder to the freshly-built engine; a serving
+            # guest binds/listens on the inet stack from boot, so that
+            # facility is part of its observed usage regardless of
+            # whether a request ever lands.
+            guest.engine.usage = UsageTrace(owner=worker.name)
+            guest.engine.usage.record_facility("socket:inet")
         yield None  # BUILT at the spawn instant; boot is the next stage
         try:
             with fault_site("guest.boot_fail"):
@@ -539,6 +550,29 @@ class Router:
                    else worker.guest.clock.now_ns)
             total += max(0.0, end - worker.spawn_ns)
         return total / 1e9
+
+    def usage_by_app(self) -> Dict[str, object]:
+        """Per-app usage merged across every worker ever spawned.
+
+        Only meaningful when the router was built with
+        ``record_usage=True``; each app's traces fold order-insensitively
+        (:meth:`UsageTrace.merge`), so the result is a pure function of
+        the run, not of worker retirement order.  This is the fleet-scale
+        recording half of the Loupe loop: the merged traces feed
+        :mod:`repro.kconfig.derive`.
+        """
+        from repro.syscall.usage import UsageTrace
+
+        merged: Dict[str, UsageTrace] = {}
+        for worker in self.workers:
+            engine = getattr(worker.guest, "engine", None)
+            usage = getattr(engine, "usage", None)
+            if usage is None or not usage:
+                continue
+            merged.setdefault(
+                worker.app, UsageTrace(owner=worker.app)
+            ).merge(usage)
+        return {app: merged[app] for app in sorted(merged)}
 
     def check_conservation(self) -> None:
         """Assert the request-conservation identity (bug-trap, not load)."""

@@ -73,6 +73,11 @@ class ServeSpec:
     kernel_policy: KernelPolicy = KernelPolicy.GENERAL
     kml: bool = True
     resilience: ResiliencePolicy = DEFAULT_RESILIENCE
+    #: Attach usage recorders to every serving guest and carry the
+    #: per-app merged traces (and a ``usage`` manifest section) in the
+    #: report.  Off by default: recording never perturbs timing, but the
+    #: extra manifest section would change pinned digests.
+    record_usage: bool = False
 
 
 @dataclass
@@ -107,6 +112,9 @@ class ServingReport:
     peak_live: int = 0
     guest_seconds: float = 0.0
     per_app: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Per-app merged usage traces; populated only when the spec asked
+    #: for recording (``spec.record_usage``).
+    usage_by_app: Dict[str, object] = field(default_factory=dict)
     #: Execution counters (EventCoreStats), deliberately manifest-external.
     eventcore_stats: Optional[object] = None
 
@@ -125,8 +133,13 @@ class ServingReport:
         return self.shed / self.arrivals if self.arrivals else 0.0
 
     def manifest(self) -> Dict[str, object]:
-        """The canonical JSON-able manifest (digest input)."""
-        return {
+        """The canonical JSON-able manifest (digest input).
+
+        The ``usage`` section exists only when the spec recorded usage,
+        so default-spec digests are byte-identical with or without this
+        feature compiled in.
+        """
+        manifest: Dict[str, object] = {
             "schema_version": SERVE_SCHEMA_VERSION,
             "trace": self.spec.trace.to_manifest(),
             "policy": self.spec.policy.to_manifest(),
@@ -179,6 +192,12 @@ class ServingReport:
             },
             "per_app": self.per_app,
         }
+        if self.spec.record_usage:
+            manifest["usage"] = {
+                app: trace.as_dict()
+                for app, trace in sorted(self.usage_by_app.items())
+            }
+        return manifest
 
     @property
     def manifest_digest(self) -> str:
@@ -286,7 +305,8 @@ def run_serving(spec: ServeSpec) -> ServingReport:
     apps = curated_apps()
     router = Router(core=core, orchestrator=orchestrator,
                     policy=spec.policy, apps=apps,
-                    resilience=spec.resilience)
+                    resilience=spec.resilience,
+                    record_usage=spec.record_usage)
     supervisor = Supervisor(core=core, router=router)
     router.supervisor = supervisor
     core.on_failure = router.on_runner_failure
@@ -357,6 +377,9 @@ def _report(spec: ServeSpec, source: ArrivalSource, router: Router,
         peak_live=router.peak_live,
         guest_seconds=round(router.guest_seconds, 9),
         per_app={app: per_app[app] for app in sorted(per_app)},
+        usage_by_app=(
+            router.usage_by_app() if spec.record_usage else {}
+        ),
         eventcore_stats=stats,
     )
     _publish_metrics(report)

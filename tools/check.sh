@@ -47,6 +47,16 @@
 # policy sweep are byte-identical, and an installed-but-empty fault
 # plane reproduces the committed BENCH_serve.json digests exactly.
 #
+# The derive gate runs bench-derive --check twice -- at --jobs 2 and
+# --jobs 3 -- and regresses both runs against the same
+# benchmarks/baseline/BENCH_derive.json.  Each run records every top-20
+# app's usage, derives a config from the observation and audits it:
+# 100% coverage of recorded usage, enabled-option count within 1.5x the
+# curated config, and byte-identical usage/config/report digests across
+# in-bench reruns; regressing both job counts against one pinned
+# digests section is the derive fan-out-determinism gate (see
+# docs/SPECIALIZATION.md).
+#
 # The fault-site drift check (tools/check_fault_sites.py) cross-checks
 # every fault_site()/corrupt_text() literal wired in src/ against the
 # site table in docs/RESILIENCE.md, both directions.
@@ -141,5 +151,20 @@ PYTHONPATH=src python -m repro.observe.regress \
 
 echo "==> chaos-serve gate (seeded guest faults, rerun/jobs/zero-fault)"
 PYTHONPATH=src python -m repro.cli chaos-serve --seed 77 --jobs 2
+
+echo "==> trace-driven derivation gate (coverage, option ratio, digests)"
+PYTHONPATH=src python -m repro.cli bench-derive --check \
+    --jobs 2 --output-dir "$RUN_DIR"
+PYTHONPATH=src python -m repro.observe.regress \
+    benchmarks/baseline/BENCH_derive.json "$RUN_DIR/BENCH_derive.json" \
+    --no-timings
+
+echo "==> derive fan-out-determinism gate (same digests at --jobs 3)"
+PYTHONPATH=src python -m repro.cli bench-derive --check \
+    --jobs 3 --output-dir "$TMP_DIR/derive-jobs3"
+PYTHONPATH=src python -m repro.observe.regress \
+    benchmarks/baseline/BENCH_derive.json \
+    "$TMP_DIR/derive-jobs3/BENCH_derive.json" \
+    --no-timings
 
 echo "==> all checks passed"

@@ -50,6 +50,10 @@ ALLOWED = ("simcore", "observe")
 #: traffic layer routes across fleet timelines).  ``harness/shardpool.py``
 #: is fleet code too: shard workers rebuild fleet slices and must draw
 #: guest clocks from their fold-local EventCore, never construct them.
+#: The ``traffic/`` entry also covers the usage-recording hooks
+#: (``router.py`` attaching ``UsageTrace`` recorders to worker guests):
+#: recorders count exercised syscalls/options, never time, so they stay
+#: clean under both lints by construction.
 FLEET_PATHS = ("core/orchestrator.py", "harness/shardpool.py", "traffic/")
 
 #: Class-level field names that smell like a private timeline.  Duration
